@@ -1,0 +1,130 @@
+// mcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcbench                      # run every experiment at full scale
+//	mcbench -experiment E7       # one experiment
+//	mcbench -accesses 100000 -apps browser,email   # smaller/narrower
+//	mcbench -list                # list experiment IDs and titles
+//	mcbench -csv dir/            # additionally dump each table as CSV
+//
+// Experiment IDs E1..E12 are the reconstructed figures, T1/T2 the
+// tables; see DESIGN.md for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobilecache/internal/experiments"
+	"mobilecache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	expID := fs.String("experiment", "", "experiment ID (default: all)")
+	accesses := fs.Int("accesses", experiments.DefaultOptions().Accesses, "accesses per app")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	apps := fs.String("apps", "", "comma-separated app subset (default: all ten)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	csvDir := fs.String("csv", "", "directory to dump tables as CSV")
+	mdDir := fs.String("md", "", "directory to dump tables as Markdown")
+	svgDir := fs.String("svg", "", "directory to write SVG figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(out, "%-4s %s\n", id, experiments.Title(id))
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Accesses: *accesses, Seed: *seed, Apps: workload.Profiles()}
+	if *apps != "" {
+		opts.Apps = nil
+		for _, name := range strings.Split(*apps, ",") {
+			p, err := workload.ProfileByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.Apps = append(opts.Apps, p)
+		}
+	}
+
+	ids := experiments.IDs()
+	if *expID != "" {
+		ids = []string{*expID}
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "=== %s: %s ===\n", res.ID, res.Title)
+		fmt.Fprintf(out, "paper: %s\n\n", res.Paper)
+		for ti, tb := range res.Tables {
+			if err := tb.Fprint(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", res.ID, ti))
+				if err := dumpTable(path, tb.WriteCSV); err != nil {
+					return err
+				}
+			}
+			if *mdDir != "" {
+				path := filepath.Join(*mdDir, fmt.Sprintf("%s_%d.md", res.ID, ti))
+				if err := dumpTable(path, tb.WriteMarkdown); err != nil {
+					return err
+				}
+			}
+		}
+		if *svgDir != "" {
+			for name, svg := range res.Figures {
+				path := filepath.Join(*svgDir, name)
+				if err := dumpTable(path, func(w io.Writer) error {
+					_, err := io.WriteString(w, svg)
+					return err
+				}); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "figure: %s\n", path)
+			}
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(out, "finding: %s\n", n)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// dumpTable writes one table rendering to path, creating directories.
+func dumpTable(path string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

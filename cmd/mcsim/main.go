@@ -1,0 +1,141 @@
+// mcsim runs one workload through one machine configuration and prints
+// timing, cache and energy statistics.
+//
+// Usage:
+//
+//	mcsim [-machine name | -config file.json] [-app name | -trace file]
+//	      [-accesses n] [-seed s] [-dump-config]
+//
+// Examples:
+//
+//	mcsim -machine sp-mr -app browser -accesses 400000
+//	mcsim -config mymachine.json -trace captured.mctr
+//	mcsim -machine dp -dump-config   # print the JSON for editing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mobilecache/internal/config"
+	"mobilecache/internal/report"
+	"mobilecache/internal/sim"
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcsim", flag.ContinueOnError)
+	machine := fs.String("machine", "baseline-sram", "standard machine name ("+strings.Join(sim.StandardMachineNames(), ", ")+")")
+	cfgPath := fs.String("config", "", "machine config JSON file (overrides -machine)")
+	app := fs.String("app", "browser", "app profile ("+strings.Join(workload.ProfileNames(), ", ")+")")
+	tracePath := fs.String("trace", "", "binary trace file to replay (overrides -app)")
+	accesses := fs.Int("accesses", 400_000, "accesses to simulate (0 = whole trace)")
+	seed := fs.Uint64("seed", 1, "workload generator seed")
+	dump := fs.Bool("dump-config", false, "print the machine config as JSON and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := sim.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	if *cfgPath != "" {
+		cfg, err = config.LoadFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *dump {
+		return cfg.Save(out)
+	}
+
+	m, err := sim.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	var src trace.Source
+	name := ""
+	if *tracePath != "" {
+		r, closer, err := trace.OpenFile(*tracePath) // handles .gz
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		defer func() {
+			if r.Err() != nil {
+				fmt.Fprintln(os.Stderr, "mcsim: trace warning:", r.Err())
+			}
+		}()
+		src, name = r, *tracePath
+	} else {
+		prof, err := workload.ProfileByName(*app)
+		if err != nil {
+			return err
+		}
+		phaseLen := uint64(0)
+		if prof.Phases > 1 && *accesses > 0 {
+			phaseLen = uint64(*accesses / prof.Phases)
+		}
+		gen, err := workload.NewGenerator(prof, *seed, phaseLen)
+		if err != nil {
+			return err
+		}
+		src, name = gen, prof.Name
+		if *accesses == 0 {
+			return fmt.Errorf("-accesses must be positive with a generated workload")
+		}
+	}
+
+	rep := sim.RunTrace(m, name, src, uint64(*accesses))
+	return printReport(out, rep)
+}
+
+func printReport(out io.Writer, rep sim.RunReport) error {
+	tb := report.NewTable(fmt.Sprintf("mcsim: %s on %s", rep.Workload, rep.Machine), "metric", "value")
+	tb.AddRow("accesses", fmt.Sprint(rep.CPU.Accesses))
+	tb.AddRow("instructions", fmt.Sprint(rep.CPU.Instructions))
+	tb.AddRow("cycles", fmt.Sprint(rep.CPU.Cycles))
+	tb.AddRow("IPC", fmt.Sprintf("%.4f", rep.IPC()))
+	tb.AddRow("memory stall fraction", report.Pct(rep.CPU.StallFraction()))
+	tb.AddRow("L2 accesses", fmt.Sprint(rep.L2.TotalAccesses()))
+	tb.AddRow("L2 miss rate", report.Pct(rep.L2.MissRate()))
+	tb.AddRow("L2 kernel access share", report.Pct(rep.L2.KernelShare()))
+	tb.AddRow("L2 interference evictions", fmt.Sprint(rep.L2.InterferenceEvictions))
+	tb.AddRow("L2 expiry invalidations", fmt.Sprint(rep.L2.ExpiryInvalidations))
+	tb.AddRow("L2 refreshes", fmt.Sprint(rep.L2.Refreshes))
+	tb.AddRow("L2 installed / powered", report.Bytes(rep.L2InstalledBytes)+" / "+report.Bytes(rep.L2PoweredBytes))
+	tb.AddRow("DRAM reads / writes", fmt.Sprintf("%d / %d", rep.DRAMReads, rep.DRAMWrites))
+	bd := rep.Energy.L2
+	tb.AddRow("L2 energy: read", report.Joules(bd.ReadJ))
+	tb.AddRow("L2 energy: write", report.Joules(bd.WriteJ))
+	tb.AddRow("L2 energy: leakage", report.Joules(bd.LeakageJ))
+	tb.AddRow("L2 energy: refresh", report.Joules(bd.RefreshJ))
+	tb.AddRow("L2 energy: total", report.Joules(bd.Total()))
+	tb.AddRow("hierarchy energy total", report.Joules(rep.Energy.TotalJ()))
+	if err := tb.Fprint(out); err != nil {
+		return err
+	}
+	if len(rep.History) > 0 {
+		_, err := fmt.Fprintf(out, "\ndynamic partition: %d epochs, final allocation u=%d k=%d gated=%d, %d flush writebacks\n",
+			len(rep.History),
+			rep.History[len(rep.History)-1].UserWays,
+			rep.History[len(rep.History)-1].KernelWays,
+			rep.History[len(rep.History)-1].GatedWays,
+			rep.FlushWritebacks)
+		return err
+	}
+	return nil
+}

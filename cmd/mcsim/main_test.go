@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilecache/internal/trace"
+)
+
+func TestRunStandardMachineApp(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-machine", "sp-mr", "-app", "music", "-accesses", "20000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"music on sp-mr", "L2 miss rate", "L2 energy: total", "IPC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDynamicPrintsHistory(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "dp", "-app", "email", "-accesses", "60000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dynamic partition:") {
+		t.Fatalf("dynamic run did not print partition summary:\n%s", out.String())
+	}
+}
+
+func TestRunDumpConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "dp-sr", "-dump-config"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"scheme": "dynamic"`) {
+		t.Fatalf("dump-config output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunConfigFileRoundTrip(t *testing.T) {
+	// Dump a config, reload it via -config, and run with it.
+	var dumped bytes.Buffer
+	if err := run([]string{"-machine", "sp", "-dump-config"}, &dumped); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "machine.json")
+	if err := os.WriteFile(path, dumped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-config", path, "-app", "game", "-accesses", "10000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "game on sp") {
+		t.Fatalf("config-file run wrong:\n%s", out.String())
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for i := 0; i < 500; i++ {
+		if err := w.Write(trace.Access{Addr: uint64(i) * 64, Op: trace.Load, Domain: trace.User}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-accesses", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accesses") || !strings.Contains(out.String(), "500") {
+		t.Fatalf("trace replay output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-machine", "nonexistent"},
+		{"-app", "nonexistent"},
+		{"-config", "/does/not/exist.json"},
+		{"-trace", "/does/not/exist.mctr"},
+		{"-app", "browser", "-accesses", "0"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

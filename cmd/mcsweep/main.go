@@ -1,0 +1,196 @@
+// mcsweep runs a batch of (machine, app, seed) simulations described
+// by a JSON spec and emits one CSV row per run — the bulk-experiment
+// front end for custom studies.
+//
+// Usage:
+//
+//	mcsweep -spec sweep.json [-o results.csv]
+//	mcsweep -dump-spec          # print a starting-point spec
+//
+// Spec format:
+//
+//	{
+//	  "machines": ["baseline-sram", "sp-mr", "my-machine.json"],
+//	  "apps": ["browser", "music"],
+//	  "seeds": [1, 2, 3],
+//	  "accesses": 400000,
+//	  "warmup": 0
+//	}
+//
+// Machine entries name standard schemes or point at config JSON files
+// (anything containing a '.' or '/' is treated as a path). A positive
+// warmup measures only the accesses after the warmup prefix.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mobilecache/internal/config"
+	"mobilecache/internal/sim"
+	"mobilecache/internal/workload"
+)
+
+// Spec describes one sweep.
+type Spec struct {
+	Machines []string `json:"machines"`
+	Apps     []string `json:"apps"`
+	Seeds    []uint64 `json:"seeds"`
+	Accesses int      `json:"accesses"`
+	Warmup   int      `json:"warmup"`
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("mcsweep: spec needs machines")
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("mcsweep: spec needs apps")
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("mcsweep: spec needs seeds")
+	}
+	if s.Accesses <= 0 {
+		return fmt.Errorf("mcsweep: accesses must be positive")
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("mcsweep: negative warmup")
+	}
+	return nil
+}
+
+func defaultSpec() Spec {
+	return Spec{
+		Machines: []string{"baseline-sram", "sp-mr", "dp-sr"},
+		Apps:     []string{"browser", "music"},
+		Seeds:    []uint64{1, 2},
+		Accesses: 200_000,
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcsweep", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "sweep spec JSON file")
+	outPath := fs.String("o", "", "output CSV file (default stdout)")
+	dump := fs.Bool("dump-spec", false, "print a starting-point spec and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dump {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(defaultSpec())
+	}
+	if *specPath == "" {
+		return fmt.Errorf("need -spec (or -dump-spec)")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	var spec Spec
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&spec)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("decoding spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	var w io.Writer = out
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	return sweep(spec, w)
+}
+
+// machineFor resolves a machine entry: a standard scheme name or a
+// config file path.
+func machineFor(entry string) (config.Machine, error) {
+	if strings.ContainsAny(entry, "./") {
+		return config.LoadFile(entry)
+	}
+	return sim.MachineByName(entry)
+}
+
+func sweep(spec Spec, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"machine", "app", "seed", "accesses",
+		"ipc", "l2_missrate", "l2_kernel_share",
+		"l2_read_j", "l2_write_j", "l2_leakage_j", "l2_refresh_j", "l2_total_j",
+		"dram_reads", "dram_writes", "hierarchy_total_j",
+		"l2_powered_bytes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, mEntry := range spec.Machines {
+		cfg, err := machineFor(mEntry)
+		if err != nil {
+			return err
+		}
+		for _, appName := range spec.Apps {
+			prof, err := workload.ProfileByName(appName)
+			if err != nil {
+				return err
+			}
+			for _, seed := range spec.Seeds {
+				var rep sim.RunReport
+				if spec.Warmup > 0 {
+					rep, err = sim.RunWarmWorkload(cfg, prof, seed, spec.Warmup, spec.Accesses)
+				} else {
+					rep, err = sim.RunWorkload(cfg, prof, seed, spec.Accesses)
+				}
+				if err != nil {
+					return fmt.Errorf("%s on %s seed %d: %w", appName, cfg.Name, seed, err)
+				}
+				bd := rep.Energy.L2
+				row := []string{
+					cfg.Name, appName, strconv.FormatUint(seed, 10),
+					strconv.FormatUint(rep.CPU.Accesses, 10),
+					fmt.Sprintf("%.6f", rep.IPC()),
+					fmt.Sprintf("%.6f", rep.L2.MissRate()),
+					fmt.Sprintf("%.6f", rep.L2.KernelShare()),
+					fmt.Sprintf("%.6g", bd.ReadJ),
+					fmt.Sprintf("%.6g", bd.WriteJ),
+					fmt.Sprintf("%.6g", bd.LeakageJ),
+					fmt.Sprintf("%.6g", bd.RefreshJ),
+					fmt.Sprintf("%.6g", bd.Total()),
+					strconv.FormatUint(rep.DRAMReads, 10),
+					strconv.FormatUint(rep.DRAMWrites, 10),
+					fmt.Sprintf("%.6g", rep.Energy.TotalJ()),
+					strconv.FormatUint(rep.L2PoweredBytes, 10),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeSpec(t *testing.T, spec string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDumpSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dump-spec"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"machines"`) {
+		t.Fatalf("dump-spec output wrong:\n%s", out.String())
+	}
+}
+
+func TestSweepProducesCSV(t *testing.T) {
+	path := writeSpec(t, `{
+		"machines": ["baseline-sram", "sp-mr"],
+		"apps": ["music"],
+		"seeds": [1, 2],
+		"accesses": 20000
+	}`)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 machines x 1 app x 2 seeds.
+	if len(rows) != 5 {
+		t.Fatalf("csv has %d rows, want 5", len(rows))
+	}
+	if rows[0][0] != "machine" || rows[0][4] != "ipc" {
+		t.Fatalf("header wrong: %v", rows[0])
+	}
+	// Every data row parses numerically where expected.
+	for _, r := range rows[1:] {
+		if _, err := strconv.ParseFloat(r[4], 64); err != nil {
+			t.Fatalf("ipc cell %q not a float", r[4])
+		}
+		if _, err := strconv.ParseFloat(r[11], 64); err != nil {
+			t.Fatalf("total energy cell %q not a float", r[11])
+		}
+	}
+	// The sp-mr rows must show less L2 energy than baseline rows.
+	var baseE, spmrE float64
+	for _, r := range rows[1:] {
+		e, _ := strconv.ParseFloat(r[11], 64)
+		switch r[0] {
+		case "baseline-sram":
+			baseE += e
+		case "sp-mr":
+			spmrE += e
+		}
+	}
+	if spmrE >= baseE {
+		t.Fatalf("sweep results inconsistent: sp-mr %g >= baseline %g", spmrE, baseE)
+	}
+}
+
+func TestSweepWithWarmupAndFile(t *testing.T) {
+	path := writeSpec(t, `{
+		"machines": ["baseline-sram"],
+		"apps": ["game"],
+		"seeds": [3],
+		"accesses": 15000,
+		"warmup": 15000
+	}`)
+	outPath := filepath.Join(t.TempDir(), "out.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path, "-o", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("file csv rows = %d, err %v", len(rows), err)
+	}
+	if rows[1][3] != "15000" {
+		t.Fatalf("warm run measured %s accesses, want 15000", rows[1][3])
+	}
+}
+
+func TestSweepWithConfigFileMachine(t *testing.T) {
+	mPath := filepath.Join("..", "..", "configs", "dp-sr.json")
+	if _, err := os.Stat(mPath); err != nil {
+		t.Skip("shipped configs not present")
+	}
+	spec := `{"machines": ["` + filepath.ToSlash(mPath) + `"], "apps": ["music"], "seeds": [1], "accesses": 10000}`
+	path := writeSpec(t, spec)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dp-sr") {
+		t.Fatalf("config-file machine missing from output:\n%s", out.String())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"machines":["baseline-sram"]}`,
+		`{"machines":["baseline-sram"],"apps":["music"]}`,
+		`{"machines":["baseline-sram"],"apps":["music"],"seeds":[1]}`,
+		`{"machines":["baseline-sram"],"apps":["music"],"seeds":[1],"accesses":-5}`,
+		`{"machines":["nonexistent"],"apps":["music"],"seeds":[1],"accesses":100}`,
+		`{"machines":["baseline-sram"],"apps":["nonexistent"],"seeds":[1],"accesses":100}`,
+		`{"unknown_field":1}`,
+	}
+	for _, spec := range cases {
+		path := writeSpec(t, spec)
+		var out bytes.Buffer
+		if err := run([]string{"-spec", path}, &out); err == nil {
+			t.Errorf("spec %s accepted, want error", spec)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -spec accepted")
+	}
+	if err := run([]string{"-spec", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenInfoCatPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.mctr")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "video", "-n", "5000", "-seed", "3", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"info", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "records") || !strings.Contains(s, "5000") {
+		t.Fatalf("info output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "kernel share") {
+		t.Fatalf("info missing kernel share:\n%s", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"cat", "-n", "10", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("cat -n 10 printed %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "user ") && !strings.HasPrefix(l, "kernel ") {
+			t.Fatalf("cat line malformed: %q", l)
+		}
+	}
+}
+
+func TestGenTextFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "music", "-n", "100", "-text", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("text gen produced %d lines, want 100", len(lines))
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.mctr"), filepath.Join(dir, "b.mctr")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "game", "-n", "2000", "-seed", "9", "-o", a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gen", "-app", "game", "-n", "2000", "-seed", "9", "-o", b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("same-seed traces differ")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"unknown"},
+		{"gen", "-app", "nope"},
+		{"gen", "-n", "-5"},
+		{"info"},
+		{"info", "/does/not/exist"},
+		{"cat"},
+		{"cat", "/does/not/exist"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestProfilesListAndDump(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"profiles"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "browser") || !strings.Contains(out.String(), "kernel share") {
+		t.Fatalf("profiles list wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"profiles", "-dump", "video"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"kernel_share"`) {
+		t.Fatalf("profile dump wrong:\n%s", out.String())
+	}
+	if err := run([]string{"profiles", "-dump", "nope"}, &out); err == nil {
+		t.Fatal("unknown profile dumped")
+	}
+}
+
+func TestGenWithCustomProfile(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "custom.json")
+	var dump bytes.Buffer
+	if err := run([]string{"profiles", "-dump", "reader"}, &dump); err != nil {
+		t.Fatal(err)
+	}
+	// Tweak the dumped profile: rename it.
+	text := strings.Replace(dump.String(), `"name": "reader"`, `"name": "custom"`, 1)
+	if err := os.WriteFile(profPath, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "c.mctr")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-profile", profPath, "-n", "1000", "-o", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"info", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1000") {
+		t.Fatalf("custom profile trace wrong:\n%s", out.String())
+	}
+	// Bad profile path must fail.
+	if err := run([]string{"gen", "-profile", "/does/not/exist.json"}, &out); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestGzipTracePipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr.gz")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "office", "-n", "3000", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"info", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3000") {
+		t.Fatalf("gzip info wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"cat", "-n", "5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 5 {
+		t.Fatalf("gzip cat printed %d lines", len(lines))
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.mctr")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "email", "-n", "20000", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"analyze", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"reuse analysis", "user", "kernel", "footprint", "@1MB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, s)
+		}
+	}
+	// Errors.
+	if err := run([]string{"analyze"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"analyze", "-block", "48", path}, &out); err == nil {
+		t.Fatal("bad block accepted")
+	}
+	if err := run([]string{"analyze", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestInfoRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"info", path}, &out); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package mobilecache_test
+
+import (
+	"fmt"
+
+	"mobilecache"
+)
+
+// ExampleProfiles lists the built-in interactive-app profiles.
+func ExampleProfiles() {
+	for _, p := range mobilecache.Profiles()[:3] {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// browser
+	// email
+	// maps
+}
+
+// ExampleRun compares the baseline with the paper's static
+// multi-retention design on one app.
+func ExampleRun() {
+	app, _ := mobilecache.ProfileByName("music")
+	base, _ := mobilecache.Run(mobilecache.DefaultMachine(), app, 1, 50_000)
+	spmr, _ := mobilecache.StandardMachine("sp-mr")
+	part, _ := mobilecache.Run(spmr, app, 1, 50_000)
+	saving := 1 - part.L2EnergyJ()/base.L2EnergyJ()
+	fmt.Println("saves energy:", saving > 0.5)
+	fmt.Println("keeps performance:", part.IPC() > base.IPC()*0.9)
+	// Output:
+	// saves energy: true
+	// keeps performance: true
+}
+
+// ExampleStandardMachines shows the schemes of the paper's evaluation.
+func ExampleStandardMachines() {
+	for _, m := range mobilecache.StandardMachines() {
+		fmt.Println(m.Name)
+	}
+	// Output:
+	// baseline-sram
+	// baseline-stt
+	// baseline-drowsy
+	// sp
+	// sp-mr
+	// dp
+	// dp-sr
+}
+
+// ExampleGenerateTrace materializes a deterministic synthetic trace.
+func ExampleGenerateTrace() {
+	app, _ := mobilecache.ProfileByName("game")
+	recs, _ := mobilecache.GenerateTrace(app, 42, 4)
+	again, _ := mobilecache.GenerateTrace(app, 42, 4)
+	fmt.Println("records:", len(recs))
+	fmt.Println("deterministic:", recs[0] == again[0] && recs[3] == again[3])
+	// Output:
+	// records: 4
+	// deterministic: true
+}

@@ -1,0 +1,55 @@
+// Retention sweep: explore the STT-RAM retention/write-cost trade-off
+// for the kernel segment, the design space behind the paper's
+// multi-retention choice.
+//
+// For each retention target the example derives device parameters from
+// the thermal-stability relation, runs the static partition with that
+// kernel segment, and prints where the energy minimum falls.
+//
+// Run with:
+//
+//	go run ./examples/retentionsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilecache/internal/energy"
+	"mobilecache/internal/experiments"
+	"mobilecache/internal/sttram"
+	"mobilecache/internal/workload"
+)
+
+func main() {
+	// The physics: retention grows exponentially with the thermal
+	// stability factor delta, and the write current needed grows with
+	// delta too. Print the relation first.
+	fmt.Println("thermal stability -> retention:")
+	for _, delta := range []float64{35, 40, 45, 50, 55} {
+		fmt.Printf("  delta=%2.0f  retention=%10.3g s\n", delta, sttram.RetentionFromStability(delta))
+	}
+
+	fmt.Println("\nderived device parameters across retention targets:")
+	fmt.Printf("  %-12s %-10s %-10s\n", "retention", "write pJ", "write cyc")
+	for _, ret := range []float64{26.5e-6, 2.65e-3, 0.265, 3.24, 3600} {
+		p := energy.ParamsForRetention(ret)
+		fmt.Printf("  %-12.3g %-10.0f %-10d\n", ret, p.WritePJ, p.WriteCycles)
+	}
+
+	// Full sweep via the experiment harness (figure E10).
+	apps := workload.Profiles()
+	res, err := experiments.Run("E10", experiments.Options{
+		Accesses: 300_000, Seed: 1, Apps: apps[:1],
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, tb := range res.Tables {
+		fmt.Print(tb)
+	}
+	for _, n := range res.Notes {
+		fmt.Println("finding:", n)
+	}
+}

@@ -1,0 +1,3 @@
+module mobilecache
+
+go 1.22

@@ -1,0 +1,171 @@
+package mobilecache
+
+import (
+	"testing"
+
+	"mobilecache/internal/sim"
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+// The integration suite runs every standard machine against several
+// apps at medium scale and checks cross-component invariants that no
+// unit test can see: conservation between CPU, hierarchy, and energy
+// accounting, and the paper's qualitative orderings.
+
+func TestIntegrationAllMachinesAllInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is not -short")
+	}
+	apps := Profiles()[:4]
+	for _, mc := range StandardMachines() {
+		for i, app := range apps {
+			rep, err := Run(mc, app, uint64(100+i), 80_000)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", app.Name, mc.Name, err)
+			}
+			checkInvariants(t, mc.Name, app.Name, rep)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, machine, app string, rep RunReport) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("%s on %s: "+format, append([]any{app, machine}, args...)...)
+	}
+
+	// Timing conservation.
+	if rep.CPU.Cycles != rep.CPU.Instructions+rep.CPU.StallCycles {
+		fail("cycles %d != instructions %d + stalls %d", rep.CPU.Cycles, rep.CPU.Instructions, rep.CPU.StallCycles)
+	}
+	if rep.IPC() <= 0 || rep.IPC() > 1 {
+		fail("IPC %g out of range", rep.IPC())
+	}
+
+	// Cache accounting.
+	for _, d := range []trace.Domain{trace.User, trace.Kernel} {
+		if rep.L2.Hits[d]+rep.L2.Misses[d] != rep.L2.Accesses[d] {
+			fail("L2 domain %v accounting broken", d)
+		}
+	}
+	if mr := rep.L2.MissRate(); mr < 0 || mr > 1 {
+		fail("L2 miss rate %g out of range", mr)
+	}
+
+	// DRAM demand traffic matches L2 misses; every L2 miss fetches
+	// exactly one block (writebacks allocate without fetching).
+	demandMisses := uint64(0)
+	for _, d := range []trace.Domain{trace.User, trace.Kernel} {
+		demandMisses += rep.L2.Misses[d]
+	}
+	if rep.DRAMReads > demandMisses {
+		fail("DRAM reads %d exceed L2 misses %d", rep.DRAMReads, demandMisses)
+	}
+
+	// Energy sanity: every bucket non-negative, total consistent.
+	bd := rep.Energy.L2
+	for name, v := range map[string]float64{
+		"read": bd.ReadJ, "write": bd.WriteJ, "leakage": bd.LeakageJ, "refresh": bd.RefreshJ,
+	} {
+		if v < 0 {
+			fail("negative %s energy %g", name, v)
+		}
+	}
+	if bd.Total() <= 0 {
+		fail("no L2 energy accumulated")
+	}
+	if rep.Energy.TotalJ() < bd.Total() {
+		fail("hierarchy total below L2 total")
+	}
+
+	// Capacity sanity.
+	if rep.L2PoweredBytes > rep.L2InstalledBytes {
+		fail("powered %d exceeds installed %d", rep.L2PoweredBytes, rep.L2InstalledBytes)
+	}
+
+	// Retention safety: no configuration may silently lose dirty data.
+	if rep.L2.DirtyExpiries != 0 {
+		fail("%d dirty lines expired", rep.L2.DirtyExpiries)
+	}
+}
+
+func TestIntegrationMultiAppSessionOnDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is not -short")
+	}
+	src, err := workload.MultiAppSession([]string{"browser", "music", "game"}, 7, 2000, 240_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sim.MachineByName("dp-sr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.RunTrace(m, "session", src, 0)
+	checkInvariants(t, "dp-sr", "session", rep)
+	if len(rep.History) < 3 {
+		t.Fatalf("controller made only %d decisions over a 3-app session", len(rep.History))
+	}
+	// Context switches between user address spaces must not starve the
+	// kernel allocation: kernel blocks are shared across apps.
+	last := rep.History[len(rep.History)-1]
+	if last.KernelWays < 1 || last.UserWays < 1 {
+		t.Fatalf("degenerate final allocation: %+v", last)
+	}
+}
+
+func TestIntegrationPaperOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is not -short")
+	}
+	app, err := ProfileByName("social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyOf := map[string]float64{}
+	ipcOf := map[string]float64{}
+	for _, name := range []string{"baseline-sram", "baseline-stt", "baseline-drowsy", "sp", "sp-mr", "dp-sr"} {
+		mc, err := StandardMachine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(mc, app, 3, 150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		energyOf[name] = rep.L2EnergyJ()
+		ipcOf[name] = rep.IPC()
+	}
+	base := energyOf["baseline-sram"]
+	// The paper's qualitative chain.
+	if !(energyOf["sp"] < base) {
+		t.Error("sp does not save vs baseline")
+	}
+	if !(energyOf["sp-mr"] < energyOf["sp"]) {
+		t.Error("multi-retention does not beat SRAM partition")
+	}
+	if !(energyOf["dp-sr"] < energyOf["sp-mr"]) {
+		t.Error("dynamic short-retention does not beat static multi-retention")
+	}
+	// The naive full-size STT swap helps but less than the partitioned
+	// designs (the partition/shrink matters, not just the technology).
+	if !(energyOf["baseline-stt"] < base && energyOf["sp-mr"] < energyOf["baseline-stt"]) {
+		t.Error("technology swap alone outperforms the designed partition")
+	}
+	// Drowsy helps but cannot reach the technology change.
+	if !(energyOf["baseline-drowsy"] < base && energyOf["sp-mr"] < energyOf["baseline-drowsy"]) {
+		t.Error("drowsy ordering wrong")
+	}
+	// Performance: nothing loses more than 15% on this app.
+	for name, ipc := range ipcOf {
+		if ipc < ipcOf["baseline-sram"]*0.85 {
+			t.Errorf("%s loses too much performance: %g vs %g", name, ipc, ipcOf["baseline-sram"])
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package cache
+
+import "fmt"
+
+// PolicyKind selects a replacement policy.
+type PolicyKind uint8
+
+const (
+	// LRU is exact least-recently-used via sequence numbers.
+	LRU PolicyKind = iota
+	// TreePLRU approximates LRU with per-line hot bits (the common
+	// hardware implementation for high associativity).
+	TreePLRU
+	// Random picks a deterministic pseudo-random victim.
+	Random
+	// FIFO evicts the oldest fill.
+	FIFO
+	// SRRIP is static re-reference interval prediction (2-bit RRPV).
+	SRRIP
+	numPolicies
+)
+
+// Valid reports whether k names a policy.
+func (k PolicyKind) Valid() bool { return k < numPolicies }
+
+// String returns the canonical lower-case policy name.
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "lru"
+	case TreePLRU:
+		return "plru"
+	case Random:
+		return "random"
+	case FIFO:
+		return "fifo"
+	case SRRIP:
+		return "srrip"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(k))
+	}
+}
+
+// ParsePolicy maps a name (as produced by String) to its PolicyKind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	for k := PolicyKind(0); k < numPolicies; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", name)
+}

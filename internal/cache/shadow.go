@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"math/bits"
+
+	"mobilecache/internal/trace"
+)
+
+// ShadowTags is an auxiliary tag directory used by the dynamic
+// partition controller to estimate each domain's miss curve online.
+// It mirrors the tag array of a cache at full associativity for a
+// sampled subset of sets (1 in 2^SampleShift), tracking for each hit
+// the LRU stack position it hit at. Utility-based partitioning then
+// reads off how many extra hits each additional way would buy.
+//
+// Shadow tags hold no data and are cheap: the paper-style controller
+// needs only hit counters per stack position plus a miss counter.
+type ShadowTags struct {
+	ways        int
+	sets        int
+	sampleShift uint
+	blockShift  uint
+	indexMask   uint64
+
+	// entries[sampledSet] is an LRU-ordered tag list, most recent
+	// first. Length <= ways.
+	entries [][]uint64
+
+	hitsAtPos []uint64
+	misses    uint64
+	accesses  uint64
+}
+
+// NewShadowTags mirrors a cache of the given geometry. sampleShift
+// selects 1-in-2^shift set sampling (0 = every set). The mirrored
+// associativity may exceed the real cache's so the controller can see
+// the utility of growing beyond the current allocation.
+func NewShadowTags(sets, ways, blockBytes int, sampleShift uint) *ShadowTags {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: shadow tags need a power-of-two set count")
+	}
+	if ways <= 0 {
+		panic("cache: shadow tags need positive ways")
+	}
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		panic("cache: shadow tags need power-of-two block size")
+	}
+	sampled := sets >> sampleShift
+	if sampled == 0 {
+		sampled = 1
+		sampleShift = uint(bits.Len(uint(sets)) - 1)
+	}
+	st := &ShadowTags{
+		ways:        ways,
+		sets:        sets,
+		sampleShift: sampleShift,
+		blockShift:  uint(bits.TrailingZeros(uint(blockBytes))),
+		indexMask:   uint64(sets - 1),
+		entries:     make([][]uint64, sampled),
+		hitsAtPos:   make([]uint64, ways),
+	}
+	for i := range st.entries {
+		st.entries[i] = make([]uint64, 0, ways)
+	}
+	return st
+}
+
+// Sampled reports whether addr maps to a sampled set.
+func (st *ShadowTags) Sampled(addr uint64) bool {
+	set := (addr >> st.blockShift) & st.indexMask
+	return set&((1<<st.sampleShift)-1) == 0
+}
+
+// Access records one access. Non-sampled sets are ignored.
+func (st *ShadowTags) Access(addr uint64) {
+	b := addr >> st.blockShift
+	set := b & st.indexMask
+	if set&((1<<st.sampleShift)-1) != 0 {
+		return
+	}
+	st.accesses++
+	idx := int(set >> st.sampleShift)
+	tags := st.entries[idx]
+	tag := b >> uint(bits.Len64(st.indexMask))
+	for pos, t := range tags {
+		if t == tag {
+			st.hitsAtPos[pos]++
+			// Move to front.
+			copy(tags[1:pos+1], tags[:pos])
+			tags[0] = tag
+			return
+		}
+	}
+	st.misses++
+	// Insert at MRU, evicting beyond the mirrored associativity.
+	if len(tags) < st.ways {
+		tags = append(tags, 0)
+	}
+	copy(tags[1:], tags)
+	tags[0] = tag
+	st.entries[idx] = tags
+}
+
+// Accesses reports sampled accesses since the last Reset.
+func (st *ShadowTags) Accesses() uint64 { return st.accesses }
+
+// HitsAtOrBefore returns the sampled hits that a cache with the given
+// number of ways would have captured.
+func (st *ShadowTags) HitsAtOrBefore(ways int) uint64 {
+	if ways > st.ways {
+		ways = st.ways
+	}
+	var h uint64
+	for i := 0; i < ways; i++ {
+		h += st.hitsAtPos[i]
+	}
+	return h
+}
+
+// MissesWith estimates the sampled misses a cache with the given
+// number of ways would incur: compulsory misses plus hits beyond the
+// allocation.
+func (st *ShadowTags) MissesWith(ways int) uint64 {
+	return st.accesses - st.HitsAtOrBefore(ways)
+}
+
+// MissCurve returns MissesWith(w) for w = 0..ways.
+func (st *ShadowTags) MissCurve() []uint64 {
+	curve := make([]uint64, st.ways+1)
+	for w := 0; w <= st.ways; w++ {
+		curve[w] = st.MissesWith(w)
+	}
+	return curve
+}
+
+// Halve decays all counters by half, keeping history while letting the
+// controller track phase changes. Tag contents are preserved.
+func (st *ShadowTags) Halve() {
+	st.accesses /= 2
+	st.misses /= 2
+	for i := range st.hitsAtPos {
+		st.hitsAtPos[i] /= 2
+	}
+}
+
+// Reset clears counters and tag contents.
+func (st *ShadowTags) Reset() {
+	st.accesses = 0
+	st.misses = 0
+	for i := range st.hitsAtPos {
+		st.hitsAtPos[i] = 0
+	}
+	for i := range st.entries {
+		st.entries[i] = st.entries[i][:0]
+	}
+}
+
+// DomainMonitors pairs one shadow directory per domain, the unit the
+// dynamic controller consumes.
+type DomainMonitors struct {
+	Mon [trace.NumDomains]*ShadowTags
+}
+
+// NewDomainMonitors builds per-domain shadow directories with identical
+// geometry.
+func NewDomainMonitors(sets, ways, blockBytes int, sampleShift uint) *DomainMonitors {
+	return &DomainMonitors{
+		Mon: [trace.NumDomains]*ShadowTags{
+			trace.User:   NewShadowTags(sets, ways, blockBytes, sampleShift),
+			trace.Kernel: NewShadowTags(sets, ways, blockBytes, sampleShift),
+		},
+	}
+}
+
+// Access routes an access to its domain's monitor.
+func (dm *DomainMonitors) Access(addr uint64, d trace.Domain) {
+	dm.Mon[d].Access(addr)
+}
+
+// Halve decays both monitors.
+func (dm *DomainMonitors) Halve() {
+	dm.Mon[trace.User].Halve()
+	dm.Mon[trace.Kernel].Halve()
+}

@@ -1,0 +1,35 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedConfigsLoad verifies every JSON machine description under
+// configs/ parses, validates, and round-trips.
+func TestShippedConfigsLoad(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected at least 4 shipped configs, found %d in %s", len(files), dir)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Load(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if m.Name == "" {
+			t.Errorf("%s: empty machine name", filepath.Base(path))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"mobilecache/internal/cache"
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+func sizingTrace(t *testing.T) []trace.Access {
+	t.Helper()
+	prof := workload.Profile{
+		Name:           "sizing",
+		KernelShare:    0.45,
+		UserWorkingSet: 96 * workload.KB, KernelWorkingSet: 24 * workload.KB,
+		UserZipf: 0.9, KernelZipf: 0.6,
+		UserWriteRatio: 0.25, KernelWriteRatio: 0.5,
+		UserStreamFrac: 0.05, KernelStreamFrac: 0.1,
+		IfetchFrac: 0.2, UserCodeSet: 16 * workload.KB, KernelCodeSet: 8 * workload.KB,
+		UserBurstMean: 100, GapMean: 1,
+	}
+	recs, err := workload.Generate(prof, 42, 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestMissRateForSizeDecreasesWithSize(t *testing.T) {
+	recs := sizingTrace(t)
+	var prev float64 = 1.1
+	for _, size := range []uint64{8 * 1024, 32 * 1024, 128 * 1024} {
+		pt, err := MissRateForSize(recs, trace.User, size, 8, 64, cache.LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.MissRate > prev+0.02 {
+			t.Fatalf("miss rate grew with size: %g at %d after %g", pt.MissRate, size, prev)
+		}
+		prev = pt.MissRate
+		if pt.Accesses == 0 {
+			t.Fatal("no accesses counted")
+		}
+	}
+}
+
+func TestSweepSegmentSizesSorted(t *testing.T) {
+	recs := sizingTrace(t)
+	pts, err := SweepSegmentSizes(recs, trace.Kernel, []uint64{64 * 1024, 8 * 1024, 16 * 1024}, 8, 64, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SizeBytes <= pts[i-1].SizeBytes {
+			t.Fatal("sweep not sorted by size")
+		}
+	}
+}
+
+func TestSweepRejectsBadGeometry(t *testing.T) {
+	recs := sizingTrace(t)
+	if _, err := SweepSegmentSizes(recs, trace.User, []uint64{1000}, 8, 64, cache.LRU); err == nil {
+		t.Fatal("invalid size accepted")
+	}
+}
+
+func TestChooseStaticSizesShrinks(t *testing.T) {
+	recs := sizingTrace(t)
+	baseline := segCfg("base", 256*1024, 8, 0)
+	candidates := []uint64{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}
+	res, err := ChooseStaticSizes(recs, baseline, candidates, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partition must not need more than the baseline capacity, and
+	// with working sets (96K user + 24K kernel) well under 256K it
+	// should shrink meaningfully.
+	if res.TotalSize() > baseline.SizeBytes {
+		t.Fatalf("chosen total %d exceeds baseline %d", res.TotalSize(), baseline.SizeBytes)
+	}
+	if res.TotalSize() >= baseline.SizeBytes {
+		t.Fatalf("no shrink achieved: total %d", res.TotalSize())
+	}
+	// Miss-rate promise held.
+	if res.CombinedMissRate > res.BaselineMissRate+0.01+1e-9 {
+		t.Fatalf("combined miss %g above budget %g", res.CombinedMissRate, res.BaselineMissRate+0.01)
+	}
+	// Curves exposed for reporting.
+	if len(res.UserCurve) != len(candidates) || len(res.KernelCurve) != len(candidates) {
+		t.Fatal("curves missing from result")
+	}
+	// Kernel working set is smaller; its chosen segment should be <=
+	// the user segment.
+	if res.KernelSize > res.UserSize {
+		t.Fatalf("kernel segment %d larger than user segment %d", res.KernelSize, res.UserSize)
+	}
+}
+
+func TestChooseStaticSizesErrors(t *testing.T) {
+	recs := sizingTrace(t)
+	baseline := segCfg("base", 256*1024, 8, 0)
+	if _, err := ChooseStaticSizes(recs, baseline, nil, 0.01); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := ChooseStaticSizes(recs, baseline, []uint64{32 * 1024}, -0.5); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestChooseStaticSizesFallbackWhenImpossible(t *testing.T) {
+	recs := sizingTrace(t)
+	baseline := segCfg("base", 1024*1024, 8, 0)
+	// Only absurdly small candidates: nothing will meet the budget, so
+	// the largest candidates must come back.
+	candidates := []uint64{4 * 1024, 8 * 1024}
+	res, err := ChooseStaticSizes(recs, baseline, candidates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UserSize != 8*1024 || res.KernelSize != 8*1024 {
+		t.Fatalf("fallback picked %d/%d, want the largest candidates", res.UserSize, res.KernelSize)
+	}
+}

@@ -1,0 +1,152 @@
+// Package cpu is the trace-driven in-order timing model. It replays an
+// access trace against a memory hierarchy, charging one base cycle per
+// instruction plus the stall cycles the hierarchy reports for each
+// memory access, and reports IPC — the metric behind the paper's
+// "performance loss" comparisons.
+package cpu
+
+import (
+	"fmt"
+
+	"mobilecache/internal/mem"
+	"mobilecache/internal/trace"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	// BaseCPI is the cycles charged per instruction absent memory
+	// stalls. Mobile in-order cores run near 1.
+	BaseCPI float64
+	// AdvanceEvery sets how often (in accesses) the hierarchy's
+	// leakage clocks are synchronized; smaller is more precise but
+	// slower. Zero selects the default.
+	AdvanceEvery uint64
+	// IdleEvery and IdleCycles model the idle stretches of interactive
+	// mobile use (waiting for input, screen dimmed): every IdleEvery
+	// accesses the core idles for IdleCycles cycles — no instructions
+	// retire, but the caches keep leaking (and STT-RAM retention keeps
+	// running). Zero IdleEvery disables idling. Idle time is excluded
+	// from IPC, which measures active execution only.
+	IdleEvery  uint64
+	IdleCycles uint64
+}
+
+// DefaultConfig returns the settings used by all experiments.
+func DefaultConfig() Config {
+	return Config{BaseCPI: 1.0, AdvanceEvery: 4096}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BaseCPI <= 0 {
+		return fmt.Errorf("cpu: base CPI %g must be positive", c.BaseCPI)
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Instructions and Cycles are the totals the run covered; Cycles
+	// counts active execution only.
+	Instructions uint64
+	Cycles       uint64
+	// Accesses is the number of trace records replayed.
+	Accesses uint64
+	// StallCycles is the memory-stall portion of Cycles.
+	StallCycles uint64
+	// IdleCycles is the time spent in modeled idle stretches; it is
+	// not part of Cycles (IPC measures active execution) but it does
+	// elapse on the hierarchy's leakage clocks.
+	IdleCycles uint64
+	// CyclesByDomain attributes active cycles to the domain of the
+	// instruction that spent them.
+	CyclesByDomain [trace.NumDomains]uint64
+}
+
+// IPC is instructions per active cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// WallCycles is the total elapsed time including idle stretches.
+func (r Result) WallCycles() uint64 { return r.Cycles + r.IdleCycles }
+
+// StallFraction is the share of cycles spent stalled on memory.
+func (r Result) StallFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StallCycles) / float64(r.Cycles)
+}
+
+// CPU binds a config to a hierarchy.
+type CPU struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	now  uint64
+}
+
+// New builds a CPU over the hierarchy.
+func New(cfg Config, hier *mem.Hierarchy) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil {
+		return nil, fmt.Errorf("cpu: nil hierarchy")
+	}
+	if cfg.AdvanceEvery == 0 {
+		cfg.AdvanceEvery = DefaultConfig().AdvanceEvery
+	}
+	return &CPU{cfg: cfg, hier: hier}, nil
+}
+
+// Now reports the current simulated cycle.
+func (c *CPU) Now() uint64 { return c.now }
+
+// Run replays up to maxAccesses records from src (0 = until the source
+// ends) and returns the timing result. Run may be called repeatedly;
+// time continues from where the previous call stopped.
+func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
+	var res Result
+	for {
+		if maxAccesses > 0 && res.Accesses >= maxAccesses {
+			break
+		}
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		res.Accesses++
+
+		instr := a.Instructions()
+		busy := uint64(float64(instr) * c.cfg.BaseCPI)
+		if busy == 0 {
+			busy = 1
+		}
+		c.now += busy
+		stall := c.hier.Access(a, c.now)
+		c.now += stall
+
+		res.Instructions += instr
+		res.Cycles += busy + stall
+		res.StallCycles += stall
+		res.CyclesByDomain[a.Domain] += busy + stall
+
+		if c.cfg.IdleEvery > 0 && res.Accesses%c.cfg.IdleEvery == 0 {
+			c.now += c.cfg.IdleCycles
+			res.IdleCycles += c.cfg.IdleCycles
+			// Let retention controllers and leakage meters observe the
+			// idle stretch immediately.
+			c.hier.Advance(c.now)
+		}
+
+		if res.Accesses%c.cfg.AdvanceEvery == 0 {
+			c.hier.Advance(c.now)
+		}
+	}
+	c.hier.Advance(c.now)
+	return res
+}

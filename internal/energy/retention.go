@@ -1,0 +1,65 @@
+package energy
+
+import "math"
+
+// ParamsForRetention builds an STT-RAM parameter set for an arbitrary
+// retention target by interpolating the write cost between the three
+// published design points (26.5us, 3.24s, ~4.27y). Relaxing retention
+// means lowering the thermal stability factor, which reduces the
+// switching current and time roughly log-linearly over this range —
+// the relation the retention-sweep experiment (E10) explores.
+// Retentions outside the anchor range are clamped to the nearest
+// anchor's write cost.
+func ParamsForRetention(seconds float64) Params {
+	type anchor struct {
+		logSec  float64
+		writePJ float64
+		writeCy float64
+	}
+	short := DefaultParams(STTShort)
+	med := DefaultParams(STTMedium)
+	long := DefaultParams(STTLong)
+	const longSeconds = 4.27 * 365 * 24 * 3600
+	anchors := []anchor{
+		{math.Log10(short.RetentionSeconds), short.WritePJ, float64(short.WriteCycles)},
+		{math.Log10(med.RetentionSeconds), med.WritePJ, float64(med.WriteCycles)},
+		{math.Log10(longSeconds), long.WritePJ, float64(long.WriteCycles)},
+	}
+
+	if seconds <= 0 {
+		seconds = short.RetentionSeconds
+	}
+	x := math.Log10(seconds)
+	var writePJ, writeCy float64
+	switch {
+	case x <= anchors[0].logSec:
+		writePJ, writeCy = anchors[0].writePJ, anchors[0].writeCy
+	case x >= anchors[2].logSec:
+		writePJ, writeCy = anchors[2].writePJ, anchors[2].writeCy
+	default:
+		lo, hi := anchors[0], anchors[1]
+		if x > anchors[1].logSec {
+			lo, hi = anchors[1], anchors[2]
+		}
+		f := (x - lo.logSec) / (hi.logSec - lo.logSec)
+		writePJ = lo.writePJ + f*(hi.writePJ-lo.writePJ)
+		writeCy = lo.writeCy + f*(hi.writeCy-lo.writeCy)
+	}
+
+	p := Params{
+		Tech:             STTShort, // class label: bounded-retention STT
+		ReadPJ:           short.ReadPJ,
+		WritePJ:          writePJ,
+		ReadCycles:       short.ReadCycles,
+		WriteCycles:      uint64(math.Round(writeCy)),
+		LeakageMWPerMB:   short.LeakageMWPerMB,
+		RetentionSeconds: seconds,
+		RetentionCycles:  Cycles(seconds),
+	}
+	if seconds >= longSeconds {
+		// Effectively non-volatile at system timescales.
+		p.Tech = STTLong
+		p.RetentionCycles = 0
+	}
+	return p
+}

@@ -1,0 +1,70 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsForRetentionAnchors(t *testing.T) {
+	short := DefaultParams(STTShort)
+	p := ParamsForRetention(short.RetentionSeconds)
+	if p.WritePJ != short.WritePJ || p.WriteCycles != short.WriteCycles {
+		t.Fatalf("short anchor mismatch: %+v", p)
+	}
+	med := DefaultParams(STTMedium)
+	p = ParamsForRetention(med.RetentionSeconds)
+	if p.WritePJ != med.WritePJ {
+		t.Fatalf("medium anchor write = %g, want %g", p.WritePJ, med.WritePJ)
+	}
+}
+
+func TestParamsForRetentionMonotone(t *testing.T) {
+	// Write cost must be non-decreasing in retention target.
+	prevPJ := 0.0
+	for _, sec := range []float64{1e-6, 26.5e-6, 1e-3, 0.1, 3.24, 100, 1e6, 1e9} {
+		p := ParamsForRetention(sec)
+		if p.WritePJ < prevPJ {
+			t.Fatalf("write energy decreased at %gs: %g < %g", sec, p.WritePJ, prevPJ)
+		}
+		prevPJ = p.WritePJ
+	}
+}
+
+func TestParamsForRetentionClamps(t *testing.T) {
+	low := ParamsForRetention(1e-9)
+	if low.WritePJ != DefaultParams(STTShort).WritePJ {
+		t.Fatal("below-range retention not clamped to short anchor")
+	}
+	high := ParamsForRetention(1e12)
+	if high.WritePJ != DefaultParams(STTLong).WritePJ {
+		t.Fatal("above-range retention not clamped to long anchor")
+	}
+	if high.RetentionCycles != 0 || high.Tech != STTLong {
+		t.Fatal("effectively non-volatile retention should clear RetentionCycles")
+	}
+	zero := ParamsForRetention(0)
+	if zero.RetentionSeconds <= 0 {
+		t.Fatal("zero retention not defaulted")
+	}
+}
+
+func TestParamsForRetentionBounded(t *testing.T) {
+	short, long := DefaultParams(STTShort), DefaultParams(STTLong)
+	f := func(exp uint8) bool {
+		sec := 1e-7 * pow10(float64(exp%18)) // 1e-7 .. 1e10
+		p := ParamsForRetention(sec)
+		return p.WritePJ >= short.WritePJ && p.WritePJ <= long.WritePJ &&
+			p.WriteCycles >= short.WriteCycles && p.WriteCycles <= long.WriteCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pow10(e float64) float64 {
+	r := 1.0
+	for i := 0; i < int(e); i++ {
+		r *= 10
+	}
+	return r
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilecache/internal/energy"
+	"mobilecache/internal/report"
+	"mobilecache/internal/stats"
+)
+
+func init() {
+	register("E5", "SRAM / STT-RAM technology parameters",
+		"table of read/write energy, latency, leakage and retention per technology",
+		runE5)
+	register("E6", "L2 energy breakdown per scheme",
+		"SRAM energy is leakage-dominated; STT-RAM trades leakage for write and refresh energy",
+		runE6)
+	register("E7", "Normalized L2 energy per app and scheme",
+		"static technique reduces cache energy by ~75%; dynamic technique by ~85%",
+		runE7)
+	register("E8", "Performance (IPC) per app and scheme",
+		"static technique loses ~2% performance; dynamic technique ~3%",
+		runE8)
+	register("T2", "Summary: energy savings and performance loss",
+		"static: 75% energy saving at 2% performance loss; dynamic: 85% at 3%",
+		runT2)
+}
+
+// runE5 renders the technology table (the paper's parameters table).
+func runE5(Options) (Result, error) {
+	var res Result
+	tb := report.NewTable("E5: technology parameters (64B line, 1MB bank, 2GHz clock)",
+		"tech", "read (pJ)", "write (pJ)", "read (cyc)", "write (cyc)", "leakage (mW/MB)", "retention")
+	for _, p := range energy.AllDefaultParams() {
+		ret := "unbounded"
+		if p.RetentionCycles > 0 {
+			ret = fmt.Sprintf("%.3gs", p.RetentionSeconds)
+		}
+		tb.AddRow(p.Tech.String(),
+			fmt.Sprintf("%.0f", p.ReadPJ), fmt.Sprintf("%.0f", p.WritePJ),
+			fmt.Sprint(p.ReadCycles), fmt.Sprint(p.WriteCycles),
+			fmt.Sprintf("%.0f", p.LeakageMWPerMB), ret)
+	}
+	res.Tables = append(res.Tables, tb)
+	sram := energy.DefaultParams(energy.SRAM)
+	stt := energy.DefaultParams(energy.STTLong)
+	res.addValue("leakage_ratio_sram_over_stt", sram.LeakageMWPerMB/stt.LeakageMWPerMB)
+	res.addNote("SRAM leaks %.0fx more than STT-RAM per MB; STT-RAM writes cost %.1fx-%.1fx an SRAM write",
+		sram.LeakageMWPerMB/stt.LeakageMWPerMB,
+		energy.DefaultParams(energy.STTShort).WritePJ/sram.WritePJ,
+		stt.WritePJ/sram.WritePJ)
+	return res, nil
+}
+
+// runE6 breaks the L2 energy of every scheme into its buckets on a
+// representative app.
+func runE6(opts Options) (Result, error) {
+	var res Result
+	app := opts.Apps[0]
+	sub := opts
+	sub.Apps = opts.Apps[:1]
+	mx, err := matrix(sub, allSchemes)
+	if err != nil {
+		return res, err
+	}
+	tb := report.NewTable(fmt.Sprintf("E6: L2 energy breakdown on %s", app.Name),
+		"scheme", "read", "write", "leakage", "refresh", "total", "powered")
+	base := mx["baseline-sram"][app.Name].L2EnergyJ()
+	for _, scheme := range allSchemes {
+		rep := mx[scheme][app.Name]
+		bd := rep.Energy.L2
+		tb.AddRow(scheme,
+			report.Joules(bd.ReadJ), report.Joules(bd.WriteJ),
+			report.Joules(bd.LeakageJ), report.Joules(bd.RefreshJ),
+			report.Joules(bd.Total()), report.Bytes(rep.L2PoweredBytes))
+		res.addValue("total_"+scheme, bd.Total())
+		res.addValue("leakfrac_"+scheme, bd.LeakageJ/bd.Total())
+	}
+	res.Tables = append(res.Tables, tb)
+	res.addNote("baseline L2 energy is %s of which %s leakage; every proposed scheme attacks that term",
+		report.Joules(base), report.Pct(mx["baseline-sram"][app.Name].Energy.L2.LeakageJ/base))
+	return res, nil
+}
+
+// runE7 is the headline figure: normalized L2 energy, all apps x all
+// schemes, geometric mean at the bottom.
+func runE7(opts Options) (Result, error) {
+	var res Result
+	mx, err := matrix(opts, allSchemes)
+	if err != nil {
+		return res, err
+	}
+	cols := append([]string{"app"}, allSchemes...)
+	tb := report.NewTable("E7: L2 energy normalized to baseline-sram", cols...)
+	norm := map[string][]float64{}
+	for _, app := range appNames(opts) {
+		base := mx["baseline-sram"][app].L2EnergyJ()
+		row := []string{app}
+		for _, scheme := range allSchemes {
+			v := mx[scheme][app].L2EnergyJ() / base
+			norm[scheme] = append(norm[scheme], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		tb.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for _, scheme := range allSchemes {
+		g := stats.GeoMean(norm[scheme])
+		geo = append(geo, fmt.Sprintf("%.3f", g))
+		res.addValue("norm_energy_"+scheme, g)
+		res.addValue("saving_"+scheme, 1-g)
+	}
+	tb.AddRow(geo...)
+	res.Tables = append(res.Tables, tb)
+	if svg, err := report.SVGGroupedBars(
+		"L2 energy normalized to baseline-sram", "normalized energy",
+		appNames(opts), norm, allSchemes[1:]); err == nil {
+		res.addFigure("e7_normalized_energy.svg", svg)
+	}
+	res.addNote("static multi-retention (sp-mr) saves %s of L2 energy; dynamic short-retention (dp-sr) saves %s (paper: ~75%% and ~85%%)",
+		report.Pct(res.Values["saving_sp-mr"]), report.Pct(res.Values["saving_dp-sr"]))
+	return res, nil
+}
+
+// runE8 is the companion performance figure: normalized IPC.
+func runE8(opts Options) (Result, error) {
+	var res Result
+	mx, err := matrix(opts, allSchemes)
+	if err != nil {
+		return res, err
+	}
+	cols := append([]string{"app"}, allSchemes...)
+	tb := report.NewTable("E8: IPC normalized to baseline-sram", cols...)
+	norm := map[string][]float64{}
+	for _, app := range appNames(opts) {
+		base := mx["baseline-sram"][app].IPC()
+		row := []string{app}
+		for _, scheme := range allSchemes {
+			v := mx[scheme][app].IPC() / base
+			norm[scheme] = append(norm[scheme], v)
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		tb.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for _, scheme := range allSchemes {
+		g := stats.GeoMean(norm[scheme])
+		geo = append(geo, fmt.Sprintf("%.4f", g))
+		res.addValue("norm_ipc_"+scheme, g)
+		res.addValue("perf_loss_"+scheme, 1-g)
+	}
+	tb.AddRow(geo...)
+	res.Tables = append(res.Tables, tb)
+	res.addNote("performance loss: sp-mr %s, dp-sr %s (paper: ~2%% and ~3%%)",
+		report.Pct(res.Values["perf_loss_sp-mr"]), report.Pct(res.Values["perf_loss_dp-sr"]))
+	return res, nil
+}
+
+// runT2 condenses E7+E8 into the paper's summary claims.
+func runT2(opts Options) (Result, error) {
+	var res Result
+	mx, err := matrix(opts, allSchemes)
+	if err != nil {
+		return res, err
+	}
+	tb := report.NewTable("T2: summary (geomean over apps, vs baseline-sram)",
+		"scheme", "L2 energy saving", "performance loss", "paper energy", "paper perf loss")
+	paperEnergy := map[string]string{"sp": "-", "sp-mr": "75%", "dp": "-", "dp-sr": "85%"}
+	paperPerf := map[string]string{"sp": "-", "sp-mr": "2%", "dp": "-", "dp-sr": "3%"}
+	for _, scheme := range proposedSchemes {
+		var normE, normI []float64
+		for _, app := range appNames(opts) {
+			base := mx["baseline-sram"][app]
+			rep := mx[scheme][app]
+			normE = append(normE, rep.L2EnergyJ()/base.L2EnergyJ())
+			normI = append(normI, rep.IPC()/base.IPC())
+		}
+		saving := 1 - stats.GeoMean(normE)
+		loss := 1 - stats.GeoMean(normI)
+		tb.AddRow(scheme, report.Pct(saving), report.Pct(loss), paperEnergy[scheme], paperPerf[scheme])
+		res.addValue("saving_"+scheme, saving)
+		res.addValue("perf_loss_"+scheme, loss)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.addNote("shape check: savings grow baseline < sp < sp-mr <= dp-sr with low single-digit performance loss")
+	return res, nil
+}

@@ -1,0 +1,261 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each experiment has an ID — E1..E12 are the
+// reconstructed paper figures, E13..E20 ablation/robustness extensions,
+// T1..T3 the tables — runs deterministically from Options, and returns
+// rendered tables plus the headline scalar values that EXPERIMENTS.md
+// records against the paper's numbers.
+//
+// The experiments are exposed three ways: programmatically via Run,
+// from the command line via cmd/mcbench, and as benchmarks in the
+// repository root's bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mobilecache/internal/report"
+	"mobilecache/internal/sim"
+	"mobilecache/internal/workload"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Accesses is the trace length per app.
+	Accesses int
+	// Seed drives the workload generators.
+	Seed uint64
+	// Apps are the application profiles to evaluate.
+	Apps []workload.Profile
+}
+
+// DefaultOptions is the full-size configuration cmd/mcbench uses.
+func DefaultOptions() Options {
+	return Options{Accesses: 400_000, Seed: 1, Apps: workload.Profiles()}
+}
+
+// QuickOptions is a reduced configuration for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{Accesses: 80_000, Seed: 1, Apps: workload.Profiles()[:3]}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.Accesses <= 0 {
+		return fmt.Errorf("experiments: accesses must be positive")
+	}
+	if len(o.Apps) == 0 {
+		return fmt.Errorf("experiments: no apps selected")
+	}
+	return nil
+}
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	// ID and Title identify the experiment.
+	ID    string
+	Title string
+	// Paper states what the paper reports for this experiment (the
+	// target shape).
+	Paper string
+	// Tables hold the regenerated data.
+	Tables []*report.Table
+	// Notes are one-line findings derived from the run.
+	Notes []string
+	// Values exposes headline scalars by name for tests and
+	// EXPERIMENTS.md.
+	Values map[string]float64
+	// Figures holds rendered SVG documents by filename (without
+	// directory); cmd/mcbench -svg writes them out.
+	Figures map[string]string
+}
+
+func (r *Result) addFigure(name, svg string) {
+	if r.Figures == nil {
+		r.Figures = map[string]string{}
+	}
+	r.Figures[name] = svg
+}
+
+func (r *Result) addValue(name string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[name] = v
+}
+
+func (r *Result) addNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// runner is one experiment implementation.
+type runner struct {
+	title string
+	paper string
+	fn    func(Options) (Result, error)
+}
+
+// registry maps experiment IDs to implementations; filled by init
+// functions across the package's files.
+var registry = map[string]runner{}
+
+func register(id, title, paper string, fn func(Options) (Result, error)) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = runner{title: title, paper: paper, fn: fn}
+}
+
+// IDs lists the registered experiment IDs in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E-prefixed numerically, then T-prefixed numerically.
+		a, b := ids[i], ids[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		var na, nb int
+		fmt.Sscanf(a[1:], "%d", &na)
+		fmt.Sscanf(b[1:], "%d", &nb)
+		return na < nb
+	})
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := r.fn(opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID, res.Title, res.Paper = id, r.title, r.paper
+	return res, nil
+}
+
+// Title returns an experiment's title without running it.
+func Title(id string) string { return registry[id].title }
+
+// appSeed derives a per-app seed so apps differ but runs reproduce.
+func appSeed(base uint64, appIndex int) uint64 {
+	return base*1_000_003 + uint64(appIndex)*7919
+}
+
+// runCache memoizes standard-machine runs within the process. Several
+// experiments (E7, E8, T2, T3) share the same (machine, app, seed,
+// accesses) simulations; since every run is deterministic, caching is
+// transparent and cuts a full mcbench sweep substantially.
+var runCache sync.Map // cacheKey -> sim.RunReport
+
+type cacheKey struct {
+	machine  string
+	app      string
+	seed     uint64
+	accesses int
+}
+
+// cachedRun runs a standard machine on an app, memoized.
+func cachedRun(machineName string, app workload.Profile, seed uint64, accesses int) (sim.RunReport, error) {
+	key := cacheKey{machineName, app.Name, seed, accesses}
+	if v, ok := runCache.Load(key); ok {
+		return v.(sim.RunReport), nil
+	}
+	cfg, err := sim.MachineByName(machineName)
+	if err != nil {
+		return sim.RunReport{}, err
+	}
+	rep, err := sim.RunWorkload(cfg, app, seed, accesses)
+	if err != nil {
+		return sim.RunReport{}, err
+	}
+	runCache.Store(key, rep)
+	return rep, nil
+}
+
+// matrix runs every app on every named standard machine, in parallel
+// across the machine x app grid. Reports are keyed [machine][app].
+// Results are deterministic regardless of scheduling: each cell is an
+// independent cold-machine simulation.
+func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunReport, error) {
+	type cell struct {
+		machine string
+		app     workload.Profile
+		seed    uint64
+	}
+	var cells []cell
+	for _, name := range machineNames {
+		if _, err := sim.MachineByName(name); err != nil {
+			return nil, err
+		}
+		for i, app := range opts.Apps {
+			cells = append(cells, cell{name, app, appSeed(opts.Seed, i)})
+		}
+	}
+
+	out := make(map[string]map[string]sim.RunReport, len(machineNames))
+	for _, name := range machineNames {
+		out[name] = make(map[string]sim.RunReport, len(opts.Apps))
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	work := make(chan cell)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				rep, err := cachedRun(c.machine, c.app, c.seed, opts.Accesses)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s on %s: %w", c.app.Name, c.machine, err)
+				}
+				out[c.machine][c.app.Name] = rep
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// appNames lists the option's app names in order.
+func appNames(opts Options) []string {
+	names := make([]string, len(opts.Apps))
+	for i, a := range opts.Apps {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// allSchemes is the canonical machine ordering in comparison tables.
+var allSchemes = []string{"baseline-sram", "baseline-stt", "sp", "sp-mr", "dp", "dp-sr"}
+
+// proposedSchemes are the paper's four designs (excluding baselines).
+var proposedSchemes = []string{"sp", "sp-mr", "dp", "dp-sr"}

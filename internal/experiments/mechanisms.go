@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilecache/internal/core"
+	"mobilecache/internal/cpu"
+	"mobilecache/internal/mem"
+	"mobilecache/internal/report"
+	"mobilecache/internal/sim"
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+func init() {
+	register("E20", "Partitioning mechanism comparison",
+		"the same isolation goal can be met by separate segments (the paper's SP), OS page coloring (set partitioning) or way partitioning — with different granularity and shrink ability",
+		runE20)
+}
+
+// buildSetPartMachine assembles a machine with a set-partitioned 1MB
+// SRAM L2 (userSets of 1024 to the user domain).
+func buildSetPartMachine(userSets int) (*sim.Machine, error) {
+	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+	wb := func(addr uint64) { dram.Write(addr) }
+	seg := core.SegmentConfig{
+		Name: "L2-setpart", SizeBytes: 1 << 20, Ways: 16, BlockBytes: 64,
+	}
+	sp, err := core.NewSetPartition(seg, userSets, wb)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(mem.DefaultL1I(), mem.DefaultL1D(), sp, dram)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cpu.DefaultConfig(), hier)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Machine{CPU: c, Hier: hier, L2: sp, DRAM: dram}, nil
+}
+
+// buildWayPartMachine assembles a machine whose 1MB L2 is statically
+// way-partitioned (userWays for user, rest kernel) using the dynamic
+// design's machinery with the controller effectively frozen.
+func buildWayPartMachine(userWays int) (*sim.Machine, error) {
+	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+	wb := func(addr uint64) { dram.Write(addr) }
+	seg := core.SegmentConfig{
+		Name: "L2-waypart", SizeBytes: 1 << 20, Ways: 16, BlockBytes: 64,
+	}
+	dc := core.DefaultDynamicConfig(seg)
+	// Freeze: epochs far beyond any run length keep the initial split.
+	dc.EpochAccesses = 1 << 62
+	dp, err := core.NewDynamicPartition(dc, wb)
+	if err != nil {
+		return nil, err
+	}
+	dp.ForceAllocation(userWays, seg.Ways-userWays)
+	hier, err := mem.NewHierarchy(mem.DefaultL1I(), mem.DefaultL1D(), dp, dram)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cpu.DefaultConfig(), hier)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Machine{CPU: c, Hier: hier, L2: dp, DRAM: dram, Dynamic: dp}, nil
+}
+
+// runE20 compares the isolation mechanisms on a representative app.
+func runE20(opts Options) (Result, error) {
+	var res Result
+	app := opts.Apps[0]
+
+	runOn := func(m *sim.Machine) (sim.RunReport, error) {
+		gen, err := workload.NewGenerator(app, appSeed(opts.Seed, 0), uint64(opts.Accesses/maxInt(app.Phases, 1)))
+		if err != nil {
+			return sim.RunReport{}, err
+		}
+		return sim.RunTrace(m, app.Name, trace.NewLimitSource(gen, opts.Accesses), 0), nil
+	}
+
+	type row struct {
+		name     string
+		capacity string
+		rep      sim.RunReport
+	}
+	var rows []row
+
+	baseCfg, err := sim.MachineByName("baseline-sram")
+	if err != nil {
+		return res, err
+	}
+	base, err := sim.RunWorkload(baseCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+	if err != nil {
+		return res, err
+	}
+	rows = append(rows, row{"shared (baseline)", "1MB", base})
+
+	spCfg, err := sim.MachineByName("sp")
+	if err != nil {
+		return res, err
+	}
+	spRep, err := sim.RunWorkload(spCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+	if err != nil {
+		return res, err
+	}
+	rows = append(rows, row{"segments (paper SP)", "512KB+256KB", spRep})
+
+	setM, err := buildSetPartMachine(640) // 640:384 of 1024 sets ~ 2:1
+	if err != nil {
+		return res, err
+	}
+	setRep, err := runOn(setM)
+	if err != nil {
+		return res, err
+	}
+	rows = append(rows, row{"set partition (coloring)", "640KB+384KB of 1MB", setRep})
+
+	wayM, err := buildWayPartMachine(10) // 10:6 of 16 ways ~ 2:1
+	if err != nil {
+		return res, err
+	}
+	wayRep, err := runOn(wayM)
+	if err != nil {
+		return res, err
+	}
+	rows = append(rows, row{"way partition (frozen)", "10+6 of 16 ways", wayRep})
+
+	tb := report.NewTable(fmt.Sprintf("E20: isolation mechanisms on %s (all SRAM)", app.Name),
+		"mechanism", "capacity", "missrate", "interference", "IPC", "L2 energy")
+	for _, r := range rows {
+		tb.AddRow(r.name, r.capacity,
+			report.Pct(r.rep.L2.MissRate()),
+			fmt.Sprint(r.rep.L2.InterferenceEvictions),
+			fmt.Sprintf("%.4f", r.rep.IPC()),
+			report.Joules(r.rep.L2EnergyJ()))
+	}
+	res.Tables = append(res.Tables, tb)
+	res.addValue("missrate_shared", base.L2.MissRate())
+	res.addValue("missrate_segments", spRep.L2.MissRate())
+	res.addValue("missrate_setpart", setRep.L2.MissRate())
+	res.addValue("missrate_waypart", wayRep.L2.MissRate())
+	res.addValue("interference_setpart", float64(setRep.L2.InterferenceEvictions))
+	res.addValue("energy_segments", spRep.L2EnergyJ())
+	res.addValue("energy_setpart", setRep.L2EnergyJ())
+	res.addNote("all three mechanisms eliminate (or nearly eliminate) cross-domain evictions; only the segment design shrinks installed capacity, which is why the paper builds on it")
+	return res, nil
+}

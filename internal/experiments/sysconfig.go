@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilecache/internal/report"
+	"mobilecache/internal/sim"
+)
+
+func init() {
+	register("T1", "System configuration",
+		"the simulated platform: core, L1s, L2 organizations, DRAM",
+		runT1)
+}
+
+// runT1 renders the machine-configuration table for every standard
+// scheme, the analogue of the paper's platform table.
+func runT1(Options) (Result, error) {
+	var res Result
+
+	plat := report.NewTable("T1a: platform", "component", "configuration")
+	plat.AddRow("core", "in-order, base CPI 1.0, 2GHz")
+	plat.AddRow("L1I", "32KB, 2-way, 64B lines, SRAM, 1-cycle hit (pipelined)")
+	plat.AddRow("L1D", "32KB, 4-way, 64B lines, SRAM, 2-cycle hit (pipelined), write-back")
+	plat.AddRow("DRAM", "200-cycle latency, 20nJ read / 22nJ write per 64B")
+	res.Tables = append(res.Tables, plat)
+
+	tb := report.NewTable("T1b: L2 schemes under study", "scheme", "organization", "capacity", "technology")
+	for _, cfg := range sim.StandardMachines() {
+		switch cfg.Scheme {
+		case "unified":
+			tb.AddRow(cfg.Name, "unified shared L2",
+				fmt.Sprintf("%dKB %d-way", cfg.Unified.SizeKB, cfg.Unified.Ways), cfg.Unified.Tech)
+		case "static":
+			tb.AddRow(cfg.Name, "static user/kernel partition",
+				fmt.Sprintf("%dKB user + %dKB kernel", cfg.User.SizeKB, cfg.Kernel.SizeKB),
+				fmt.Sprintf("%s / %s", cfg.User.Tech, cfg.Kernel.Tech))
+		case "dynamic":
+			tb.AddRow(cfg.Name, "dynamic way partition + gating",
+				fmt.Sprintf("%dKB %d-way (powered subset)", cfg.Unified.SizeKB, cfg.Unified.Ways), cfg.Unified.Tech)
+		case "drowsy":
+			tb.AddRow(cfg.Name, "unified L2 with drowsy lines",
+				fmt.Sprintf("%dKB %d-way", cfg.Unified.SizeKB, cfg.Unified.Ways), cfg.Unified.Tech+" (drowsy)")
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.addValue("schemes", float64(len(sim.StandardMachines())))
+	return res, nil
+}

@@ -1,0 +1,370 @@
+// Package mem assembles the memory hierarchy around an L2
+// organization: split L1 instruction/data caches in front, a
+// fixed-latency DRAM behind, and the plumbing between them (demand
+// fills, dirty writebacks, energy accounting). The L2 itself is any
+// implementation of core.L2 — the unified baseline or one of the
+// paper's partitioned designs plug in interchangeably.
+package mem
+
+import (
+	"fmt"
+
+	"mobilecache/internal/cache"
+	"mobilecache/internal/core"
+	"mobilecache/internal/energy"
+	"mobilecache/internal/trace"
+)
+
+// RowPolicy selects the DRAM timing model.
+type RowPolicy uint8
+
+const (
+	// RowFlat charges a single flat latency per access (closed-page
+	// abstraction) — the default the experiments calibrate against.
+	RowFlat RowPolicy = iota
+	// RowOpenPage models per-bank open rows: accesses to the open row
+	// are faster and cheaper, row conflicts pay precharge+activate.
+	RowOpenPage
+)
+
+// DRAMConfig parameterizes the main-memory model: either a flat access
+// latency (LPDDR-class abstraction) or an open-page row-buffer model.
+type DRAMConfig struct {
+	// Policy selects flat or open-page timing.
+	Policy RowPolicy
+
+	// LatencyCycles, ReadPJ and WritePJ drive the flat model, and are
+	// also the row-miss costs of the open-page model.
+	LatencyCycles uint64
+	ReadPJ        float64
+	WritePJ       float64
+
+	// Open-page parameters (ignored under RowFlat):
+	// RowHitCycles/RowHitPJ are the open-row costs; Banks and RowBytes
+	// define the interleaving.
+	RowHitCycles uint64
+	RowHitPJ     float64
+	Banks        int
+	RowBytes     uint64
+}
+
+// DefaultDRAMConfig returns the LPDDR-style flat parameters used by
+// the experiments: 200 cycles (~100ns at 2GHz) and tens of nanojoules
+// per access.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{Policy: RowFlat, LatencyCycles: 200, ReadPJ: 20_000, WritePJ: 22_000}
+}
+
+// OpenPageDRAMConfig returns an LPDDR-style open-page model whose
+// average behaviour brackets the flat default: row hits cost 120
+// cycles/12nJ, row misses 260 cycles/26nJ across 8 banks of 2KB rows.
+func OpenPageDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Policy:        RowOpenPage,
+		LatencyCycles: 260, ReadPJ: 26_000, WritePJ: 28_000,
+		RowHitCycles: 120, RowHitPJ: 12_000,
+		Banks: 8, RowBytes: 2048,
+	}
+}
+
+const noOpenRow = ^uint64(0)
+
+// DRAM is the main memory model.
+type DRAM struct {
+	cfg     DRAMConfig
+	reads   uint64
+	writes  uint64
+	energyJ float64
+
+	openRows  []uint64
+	rowHits   uint64
+	rowMisses uint64
+}
+
+// NewDRAM builds a DRAM model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	d := &DRAM{cfg: cfg}
+	if cfg.Policy == RowOpenPage {
+		banks := cfg.Banks
+		if banks <= 0 {
+			banks = 8
+		}
+		d.cfg.Banks = banks
+		if d.cfg.RowBytes == 0 {
+			d.cfg.RowBytes = 2048
+		}
+		d.openRows = make([]uint64, banks)
+		for i := range d.openRows {
+			d.openRows[i] = noOpenRow
+		}
+	}
+	return d
+}
+
+// rowLookup classifies an access and updates the open-row state,
+// returning whether it hit the open row.
+func (d *DRAM) rowLookup(addr uint64) bool {
+	row := addr / d.cfg.RowBytes
+	bank := int(row) % d.cfg.Banks
+	if d.openRows[bank] == row {
+		d.rowHits++
+		return true
+	}
+	d.rowMisses++
+	d.openRows[bank] = row
+	return false
+}
+
+// Read charges one demand fill of addr and returns its latency.
+func (d *DRAM) Read(addr uint64) uint64 {
+	d.reads++
+	if d.cfg.Policy == RowOpenPage {
+		if d.rowLookup(addr) {
+			d.energyJ += d.cfg.RowHitPJ * 1e-12
+			return d.cfg.RowHitCycles
+		}
+		d.energyJ += d.cfg.ReadPJ * 1e-12
+		return d.cfg.LatencyCycles
+	}
+	d.energyJ += d.cfg.ReadPJ * 1e-12
+	return d.cfg.LatencyCycles
+}
+
+// Write charges one writeback of addr (off the critical path; no
+// latency returned).
+func (d *DRAM) Write(addr uint64) {
+	d.writes++
+	if d.cfg.Policy == RowOpenPage {
+		if d.rowLookup(addr) {
+			d.energyJ += d.cfg.RowHitPJ * 1e-12
+			return
+		}
+	}
+	d.energyJ += d.cfg.WritePJ * 1e-12
+}
+
+// Reads reports demand fills served.
+func (d *DRAM) Reads() uint64 { return d.reads }
+
+// Writes reports writebacks absorbed.
+func (d *DRAM) Writes() uint64 { return d.writes }
+
+// RowHits and RowMisses report open-page statistics (zero under
+// RowFlat).
+func (d *DRAM) RowHits() uint64 { return d.rowHits }
+
+// RowMisses reports row-buffer conflicts.
+func (d *DRAM) RowMisses() uint64 { return d.rowMisses }
+
+// EnergyJ reports total DRAM access energy.
+func (d *DRAM) EnergyJ() float64 { return d.energyJ }
+
+// L1Config parameterizes one first-level cache.
+type L1Config struct {
+	Name       string
+	SizeBytes  uint64
+	Ways       int
+	BlockBytes int
+	// HitCycles is the L1 hit latency; it is assumed pipelined and is
+	// not charged as a stall, but is reported for documentation.
+	HitCycles uint64
+}
+
+// DefaultL1I returns the 32KB 2-way instruction cache used throughout.
+func DefaultL1I() L1Config {
+	return L1Config{Name: "L1I", SizeBytes: 32 * 1024, Ways: 2, BlockBytes: 64, HitCycles: 1}
+}
+
+// DefaultL1D returns the 32KB 4-way data cache used throughout.
+func DefaultL1D() L1Config {
+	return L1Config{Name: "L1D", SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 64, HitCycles: 2}
+}
+
+// L1 is a first-level cache: SRAM, write-back, write-allocate.
+type L1 struct {
+	cfg   L1Config
+	c     *cache.Cache
+	meter *energy.Meter
+}
+
+// NewL1 builds an L1 from cfg.
+func NewL1(cfg L1Config) (*L1, error) {
+	c, err := cache.New(cache.Config{
+		Name: cfg.Name, SizeBytes: cfg.SizeBytes, Ways: cfg.Ways,
+		BlockBytes: cfg.BlockBytes, Policy: cache.LRU,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// L1s are always SRAM; leakage scales with their (small) size.
+	meter := energy.NewMeter(energy.DefaultParams(energy.SRAM), cfg.SizeBytes)
+	return &L1{cfg: cfg, c: c, meter: meter}, nil
+}
+
+// Stats exposes the underlying cache counters.
+func (l *L1) Stats() *cache.Stats { return l.c.Stats() }
+
+// Energy reports the L1's energy breakdown.
+func (l *L1) Energy() energy.Breakdown { return l.meter.Breakdown() }
+
+// MissRate is the L1's overall miss rate.
+func (l *L1) MissRate() float64 { return l.c.Stats().MissRate() }
+
+// Hierarchy wires CPU-visible accesses through L1s, the L2, and DRAM.
+type Hierarchy struct {
+	L1I  *L1
+	L1D  *L1
+	L2   core.L2
+	DRAM *DRAM
+
+	// L2Tap, when set, observes every L2-level access (demand misses
+	// from the L1s and dirty L1 writebacks) as a trace record. The
+	// static sizing experiments replay this captured stream.
+	L2Tap func(a trace.Access)
+
+	// NextLinePrefetch enables a simple L1 next-line prefetcher: on an
+	// L1 data miss, the following block is fetched into the L1 as well
+	// (through the L2, off the critical path). Mobile cores ship
+	// stride/next-line prefetchers; the E17 experiment checks the
+	// paper's conclusions hold with one enabled.
+	NextLinePrefetch bool
+	// Prefetches counts issued prefetch fills.
+	Prefetches uint64
+
+	// lastAdvance remembers the last leakage integration point.
+	lastAdvance uint64
+}
+
+// NewHierarchy assembles a hierarchy; any argument may use defaults via
+// the Default* helpers.
+func NewHierarchy(l1i, l1d L1Config, l2 core.L2, dram *DRAM) (*Hierarchy, error) {
+	if l2 == nil {
+		return nil, fmt.Errorf("mem: hierarchy needs an L2")
+	}
+	if dram == nil {
+		return nil, fmt.Errorf("mem: hierarchy needs a DRAM")
+	}
+	i, err := NewL1(l1i)
+	if err != nil {
+		return nil, err
+	}
+	d, err := NewL1(l1d)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: i, L1D: d, L2: l2, DRAM: dram}, nil
+}
+
+// Access performs one CPU access at time now and returns the stall
+// cycles the instruction suffers beyond its pipelined L1 hit.
+//
+// Model: L1 hits stall nothing. An L1 miss pays the L2 access (bank
+// wait + array read); an L2 miss additionally pays DRAM. Dirty L1
+// victims are written back into the L2 (write-allocate, no fetch);
+// dirty L2 victims are written back to DRAM. Writebacks consume
+// bandwidth and energy but do not stall the CPU.
+func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
+	l1 := h.L1D
+	if a.Op == trace.Ifetch {
+		l1 = h.L1I
+	}
+	write := a.Op.IsWrite()
+
+	set, way, hit := l1.c.Probe(a.Addr)
+	l1.c.CountAccess(a.Domain, hit)
+	if hit {
+		l1.c.Touch(set, way, write, a.Domain, now)
+		if write {
+			l1.meter.Write(1)
+		} else {
+			l1.meter.Read(1)
+		}
+		return 0
+	}
+
+	// L1 miss: demand-read the block from L2.
+	l1.meter.Read(1) // tag probe
+	blockAddr := l1.c.BlockAddr(a.Addr)
+	h.tap(blockAddr, a.PC, false, a.Domain)
+	l2hit, l2lat := h.L2.Access(blockAddr, false, a.Domain, now)
+	stall := l2lat
+	if !l2hit {
+		stall += h.DRAM.Read(blockAddr)
+	}
+
+	// Fill the L1; a dirty victim goes down into the L2 as a write.
+	res := l1.c.Fill(a.Addr, write, a.Domain, now)
+	l1.meter.Write(1)
+	if res.Evicted && res.EvictedDirty {
+		l1.meter.Read(1) // victim readout
+		h.tap(res.EvictedAddr, a.PC, true, res.EvictedDomain)
+		h.L2.Access(res.EvictedAddr, true, res.EvictedDomain, now)
+	}
+
+	// Next-line prefetch: bring block+1 into the L1 off the critical
+	// path (no stall), unless it is already resident.
+	if h.NextLinePrefetch && a.Op != trace.Ifetch {
+		next := blockAddr + uint64(l1.cfg.BlockBytes)
+		if _, _, hit := l1.c.Probe(next); !hit {
+			h.Prefetches++
+			l1.meter.Read(1)
+			h.tap(next, a.PC, false, a.Domain)
+			if pfHit, _ := h.L2.Access(next, false, a.Domain, now); !pfHit {
+				h.DRAM.Read(next) // energy/traffic, no stall
+			}
+			pres := l1.c.Fill(next, false, a.Domain, now)
+			l1.meter.Write(1)
+			if pres.Evicted && pres.EvictedDirty {
+				l1.meter.Read(1)
+				h.tap(pres.EvictedAddr, a.PC, true, pres.EvictedDomain)
+				h.L2.Access(pres.EvictedAddr, true, pres.EvictedDomain, now)
+			}
+		}
+	}
+	return stall
+}
+
+func (h *Hierarchy) tap(addr, pc uint64, write bool, dom trace.Domain) {
+	if h.L2Tap == nil {
+		return
+	}
+	op := trace.Load
+	if write {
+		op = trace.Store
+	}
+	h.L2Tap(trace.Access{Addr: addr, PC: pc, Op: op, Domain: dom})
+}
+
+// Advance integrates leakage in every level up to cycle now.
+func (h *Hierarchy) Advance(now uint64) {
+	if now < h.lastAdvance {
+		return
+	}
+	h.L1I.meter.Advance(now)
+	h.L1D.meter.Advance(now)
+	h.L2.Advance(now)
+	h.lastAdvance = now
+}
+
+// EnergyReport is the hierarchy-wide energy account.
+type EnergyReport struct {
+	L1I   energy.Breakdown
+	L1D   energy.Breakdown
+	L2    energy.Breakdown
+	DRAMJ float64
+}
+
+// TotalJ sums every level.
+func (r EnergyReport) TotalJ() float64 {
+	return r.L1I.Total() + r.L1D.Total() + r.L2.Total() + r.DRAMJ
+}
+
+// Energy reports the account as of the last Advance.
+func (h *Hierarchy) Energy() EnergyReport {
+	return EnergyReport{
+		L1I:   h.L1I.Energy(),
+		L1D:   h.L1D.Energy(),
+		L2:    h.L2.Energy(),
+		DRAMJ: h.DRAM.EnergyJ(),
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+// Reuse-distance analysis: for each access, the number of *distinct*
+// blocks touched since the previous access to the same block (LRU
+// stack distance, block granularity). The distribution explains every
+// cache's miss curve — a cache of capacity C blocks captures exactly
+// the accesses with distance < C under LRU — and is how the synthetic
+// workloads are validated against the footprints they claim to model.
+
+// ReuseStats summarizes one domain's reuse behaviour.
+type ReuseStats struct {
+	// Accesses is the number of block references analyzed.
+	Accesses uint64
+	// ColdMisses is the number of first-ever block touches.
+	ColdMisses uint64
+	// DistinctBlocks is the footprint in blocks.
+	DistinctBlocks uint64
+	// Hist[i] counts re-accesses whose stack distance d satisfies
+	// d+1 in [2^i, 2^(i+1)) — i.e. bin 0 is an immediate re-access.
+	Hist [33]uint64
+}
+
+// CDF returns the fraction of non-cold accesses with stack distance
+// below 2^exp — the hit rate of an exp-sized (in log2 blocks) fully
+// associative LRU cache, excluding compulsory misses.
+func (r ReuseStats) CDF(exp int) float64 {
+	reuses := r.Accesses - r.ColdMisses
+	if reuses == 0 {
+		return 0
+	}
+	var c uint64
+	for i := 0; i < exp && i < len(r.Hist); i++ {
+		c += r.Hist[i]
+	}
+	return float64(c) / float64(reuses)
+}
+
+// HitRateAt estimates the hit rate (including compulsory misses as
+// misses) of a fully associative LRU cache holding capacityBlocks.
+func (r ReuseStats) HitRateAt(capacityBlocks uint64) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	exp := 0
+	for (uint64(1) << uint(exp)) < capacityBlocks {
+		exp++
+	}
+	reuses := r.Accesses - r.ColdMisses
+	return r.CDF(exp) * float64(reuses) / float64(r.Accesses)
+}
+
+// reuseTree is an order-statistics treap over last-access timestamps:
+// it supports "how many distinct blocks were touched more recently
+// than t" in O(log n).
+type reuseTree struct {
+	nodes []reuseNode
+	root  int32
+	rng   uint64
+}
+
+type reuseNode struct {
+	key         uint64 // last-access timestamp
+	prio        uint64
+	left, right int32
+	size        int32
+}
+
+func newReuseTree() *reuseTree {
+	return &reuseTree{root: -1, rng: 0x9e3779b97f4a7c15}
+}
+
+func (t *reuseTree) nextPrio() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (t *reuseTree) size(n int32) int32 {
+	if n < 0 {
+		return 0
+	}
+	return t.nodes[n].size
+}
+
+func (t *reuseTree) update(n int32) {
+	t.nodes[n].size = 1 + t.size(t.nodes[n].left) + t.size(t.nodes[n].right)
+}
+
+// split partitions by key: left subtree keys < key, right >= key.
+func (t *reuseTree) split(n int32, key uint64) (int32, int32) {
+	if n < 0 {
+		return -1, -1
+	}
+	if t.nodes[n].key < key {
+		l, r := t.split(t.nodes[n].right, key)
+		t.nodes[n].right = l
+		t.update(n)
+		return n, r
+	}
+	l, r := t.split(t.nodes[n].left, key)
+	t.nodes[n].left = r
+	t.update(n)
+	return l, n
+}
+
+func (t *reuseTree) merge(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if t.nodes[a].prio > t.nodes[b].prio {
+		t.nodes[a].right = t.merge(t.nodes[a].right, b)
+		t.update(a)
+		return a
+	}
+	t.nodes[b].left = t.merge(a, t.nodes[b].left)
+	t.update(b)
+	return b
+}
+
+// insert adds a timestamp (all timestamps are unique and increasing,
+// so the new node always lands at the right edge).
+func (t *reuseTree) insert(key uint64) {
+	t.nodes = append(t.nodes, reuseNode{key: key, prio: t.nextPrio(), left: -1, right: -1, size: 1})
+	n := int32(len(t.nodes) - 1)
+	l, r := t.split(t.root, key)
+	t.root = t.merge(t.merge(l, n), r)
+}
+
+// remove deletes the node with exactly this timestamp.
+func (t *reuseTree) remove(key uint64) {
+	l, r := t.split(t.root, key)
+	_, r2 := t.split(r, key+1)
+	t.root = t.merge(l, r2)
+}
+
+// countGreater reports how many stored timestamps exceed key.
+func (t *reuseTree) countGreater(key uint64) uint64 {
+	l, r := t.split(t.root, key+1)
+	n := uint64(t.size(r))
+	t.root = t.merge(l, r)
+	return n
+}
+
+// ReuseAnalyzer computes per-domain block-granularity reuse-distance
+// distributions in a single streaming pass (O(log n) per access).
+type ReuseAnalyzer struct {
+	blockBytes uint64
+	last       [NumDomains]map[uint64]uint64
+	tree       [NumDomains]*reuseTree
+	stats      [NumDomains]ReuseStats
+	clock      uint64
+}
+
+// NewReuseAnalyzer builds an analyzer at the given block granularity
+// (must be a power of two).
+func NewReuseAnalyzer(blockBytes int) *ReuseAnalyzer {
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		panic("trace: reuse analyzer needs power-of-two blocks")
+	}
+	ra := &ReuseAnalyzer{blockBytes: uint64(blockBytes)}
+	for d := 0; d < NumDomains; d++ {
+		ra.last[d] = make(map[uint64]uint64)
+		ra.tree[d] = newReuseTree()
+	}
+	return ra
+}
+
+// Observe processes one access.
+func (ra *ReuseAnalyzer) Observe(a Access) {
+	d := a.Domain
+	if !d.Valid() {
+		return
+	}
+	ra.clock++
+	block := a.Addr / ra.blockBytes
+	st := &ra.stats[d]
+	st.Accesses++
+	if prev, seen := ra.last[d][block]; seen {
+		dist := ra.tree[d].countGreater(prev)
+		i := 0
+		for (uint64(1)<<uint(i+1)) <= dist+1 && i < len(st.Hist)-1 {
+			i++
+		}
+		st.Hist[i]++
+		ra.tree[d].remove(prev)
+	} else {
+		st.ColdMisses++
+		st.DistinctBlocks++
+	}
+	ra.last[d][block] = ra.clock
+	ra.tree[d].insert(ra.clock)
+}
+
+// Stats returns the accumulated distribution for one domain.
+func (ra *ReuseAnalyzer) Stats(d Domain) ReuseStats { return ra.stats[d] }
+
+// Analyze drains a source through a fresh analyzer.
+func Analyze(src Source, blockBytes int) *ReuseAnalyzer {
+	ra := NewReuseAnalyzer(blockBytes)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return ra
+		}
+		ra.Observe(a)
+	}
+}

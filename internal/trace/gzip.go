@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Trace files compress extremely well (addresses repeat block-aligned
+// prefixes), so the tools transparently support gzip: any path ending
+// in ".gz" is compressed on write and decompressed on read.
+
+// OpenFile opens a trace file for reading, transparently decompressing
+// ".gz" paths, and returns a Reader plus a closer for the underlying
+// file chain.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return NewReader(f), f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: opening gzip %s: %w", path, err)
+	}
+	return NewReader(zr), &chainCloser{zr, f}, nil
+}
+
+// CreateFile creates a trace file for writing, transparently
+// compressing ".gz" paths, and returns a Writer plus a closer that
+// flushes the trace and the compression chain.
+func CreateFile(path string) (*Writer, io.Closer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		w := NewWriter(f)
+		return w, &flushCloser{w, f}, nil
+	}
+	zw := gzip.NewWriter(f)
+	w := NewWriter(zw)
+	return w, &flushCloser{w, &chainCloser{zw, f}}, nil
+}
+
+// chainCloser closes a wrapper then its underlying resource.
+type chainCloser struct {
+	outer io.Closer
+	inner io.Closer
+}
+
+func (c *chainCloser) Close() error {
+	errOuter := c.outer.Close()
+	errInner := c.inner.Close()
+	if errOuter != nil {
+		return errOuter
+	}
+	return errInner
+}
+
+// flushCloser flushes a trace writer before closing the chain beneath.
+type flushCloser struct {
+	w     *Writer
+	chain io.Closer
+}
+
+func (c *flushCloser) Close() error {
+	errFlush := c.w.Flush()
+	errClose := c.chain.Close()
+	if errFlush != nil {
+		return errFlush
+	}
+	return errClose
+}

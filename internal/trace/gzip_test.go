@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeViaCreateFile(t *testing.T, path string, recs []Access) {
+	t.Helper()
+	w, closer, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range recs {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readViaOpenFile(t *testing.T, path string) []Access {
+	t.Helper()
+	r, closer, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	recs := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatalf("read error: %v", r.Err())
+	}
+	return recs
+}
+
+func TestPlainFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr")
+	recs := sampleTrace()
+	writeViaCreateFile(t, path, recs)
+	got := readViaOpenFile(t, path)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("plain file round trip mismatch")
+	}
+}
+
+func TestGzipFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr.gz")
+	recs := sampleTrace()
+	writeViaCreateFile(t, path, recs)
+	got := readViaOpenFile(t, path)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("gzip round trip mismatch")
+	}
+	// The file must actually be gzip (magic bytes 1f 8b).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatal("gz path did not produce a gzip file")
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "big.mctr")
+	zipped := filepath.Join(dir, "big.mctr.gz")
+	recs := make([]Access, 20000)
+	for i := range recs {
+		recs[i] = Access{Addr: uint64(i%512) * 64, PC: 0x400000 + uint64(i%64)*4, Op: Load, Domain: User}
+	}
+	writeViaCreateFile(t, plain, recs)
+	writeViaCreateFile(t, zipped, recs)
+	fp, _ := os.Stat(plain)
+	fz, _ := os.Stat(zipped)
+	if fz.Size() >= fp.Size()/4 {
+		t.Fatalf("gzip trace %d bytes, plain %d: compression ineffective", fz.Size(), fp.Size())
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile("/does/not/exist.mctr"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A .gz path with non-gzip content must fail at open.
+	path := filepath.Join(t.TempDir(), "fake.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(path); err == nil {
+		t.Fatal("non-gzip .gz accepted")
+	}
+}
+
+func TestCreateFileErrors(t *testing.T) {
+	if _, _, err := CreateFile("/no/such/dir/t.mctr"); err == nil {
+		t.Fatal("uncreatable path accepted")
+	}
+}

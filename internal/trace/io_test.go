@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleTrace()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, a := range recs {
+		if err := w.Write(a); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("writer count = %d, want %d", w.Count(), len(recs))
+	}
+
+	r := NewReader(&buf)
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Access, int(n))
+		for i := range recs {
+			recs[i] = Access{
+				Addr:   rng.Uint64(),
+				PC:     rng.Uint64(),
+				Gap:    rng.Uint32(),
+				Op:     Op(rng.Intn(int(NumOps))),
+				Domain: Domain(rng.Intn(int(NumDomains))),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, a := range recs {
+			if err := w.Write(a); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got := Collect(r, 0)
+		if r.Err() != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush empty: %v", err)
+	}
+	r := NewReader(&buf)
+	if got := Collect(r, 0); len(got) != 0 {
+		t.Fatalf("empty trace yielded %d records", len(got))
+	}
+	if r.Err() != nil {
+		t.Fatalf("empty trace error: %v", r.Err())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("NOPE0000rest-of-stream"))
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader accepted bad magic")
+	}
+	if !errors.Is(r.Err(), ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestBinaryBadVersion(t *testing.T) {
+	r := NewReader(strings.NewReader("MCTR\x7f\x00\x00\x00"))
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader accepted bad version")
+	}
+	if !errors.Is(r.Err(), ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", r.Err())
+	}
+}
+
+func TestBinaryTruncatedRecord(t *testing.T) {
+	recs := sampleTrace()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, a := range recs {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(trunc))
+	got := Collect(r, 0)
+	if len(got) != len(recs)-1 {
+		t.Fatalf("truncated trace yielded %d records, want %d", len(got), len(recs)-1)
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated record not reported as an error")
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Access{Op: Op(99)}); err == nil {
+		t.Fatal("writer accepted invalid op")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := sampleTrace()
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, NewSliceSource(recs))
+	if err != nil {
+		t.Fatalf("write text: %v", err)
+	}
+	if n != uint64(len(recs)) {
+		t.Fatalf("wrote %d records, want %d", n, len(recs))
+	}
+	r := NewTextReader(&buf)
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatalf("text reader error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("text round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nuser load 0x10 0x20 3\n   \n# another\nkernel store 0x30 0x40 0\n"
+	r := NewTextReader(strings.NewReader(in))
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatalf("error: %v", r.Err())
+	}
+	want := []Access{
+		{Addr: 0x10, PC: 0x20, Gap: 3, Op: Load, Domain: User},
+		{Addr: 0x30, PC: 0x40, Gap: 0, Op: Store, Domain: Kernel},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseTextLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"user load 0x10 0x20",             // too few fields
+		"user load 0x10 0x20 3 extra",     // too many fields
+		"daemon load 0x10 0x20 3",         // bad domain
+		"user jump 0x10 0x20 3",           // bad op
+		"user load zz 0x20 3",             // bad addr
+		"user load 0x10 zz 3",             // bad pc
+		"user load 0x10 0x20 -1",          // bad gap
+		"user load 0x10 0x20 99999999999", // gap overflow
+	}
+	for _, line := range bad {
+		if _, err := ParseTextLine(line); err == nil {
+			t.Errorf("ParseTextLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestTextReaderReportsLineNumber(t *testing.T) {
+	in := "user load 0x10 0x20 3\nbogus line here oops x\n"
+	r := NewTextReader(strings.NewReader(in))
+	got := Collect(r, 0)
+	if len(got) != 1 {
+		t.Fatalf("records before error = %d, want 1", len(got))
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 mention", r.Err())
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"mobilecache/internal/trace"
+)
+
+func TestASIDSourceNamespacesUserOnly(t *testing.T) {
+	recs := []trace.Access{
+		{Addr: 0x1000, PC: 0x400, Op: trace.Load, Domain: trace.User},
+		{Addr: 0xffff800000000000, PC: 0xffff800000100000, Op: trace.Store, Domain: trace.Kernel},
+	}
+	s := NewASIDSource(trace.NewSliceSource(recs), 3)
+	a, ok := s.Next()
+	if !ok || a.Addr != 0x1000+(uint64(3)<<40) || a.PC != 0x400+(uint64(3)<<40) {
+		t.Fatalf("user record not namespaced: %+v", a)
+	}
+	k, ok := s.Next()
+	if !ok || k.Addr != 0xffff800000000000 || k.PC != 0xffff800000100000 {
+		t.Fatalf("kernel record changed: %+v", k)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source yielded a record")
+	}
+}
+
+func TestASIDZeroIsIdentity(t *testing.T) {
+	recs := []trace.Access{{Addr: 0x1000, Op: trace.Load, Domain: trace.User}}
+	s := NewASIDSource(trace.NewSliceSource(recs), 0)
+	a, _ := s.Next()
+	if a.Addr != 0x1000 {
+		t.Fatalf("asid 0 changed the address: %#x", a.Addr)
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := trace.NewSliceSource([]trace.Access{
+		{Addr: 1, Op: trace.Load, Domain: trace.User},
+		{Addr: 2, Op: trace.Load, Domain: trace.User},
+		{Addr: 3, Op: trace.Load, Domain: trace.User},
+		{Addr: 4, Op: trace.Load, Domain: trace.User},
+	})
+	b := trace.NewSliceSource([]trace.Access{
+		{Addr: 101, Op: trace.Load, Domain: trace.User},
+		{Addr: 102, Op: trace.Load, Domain: trace.User},
+	})
+	il := NewInterleaveSource(2, a, b)
+	var got []uint64
+	for {
+		rec, ok := il.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec.Addr)
+	}
+	want := []uint64{1, 2, 101, 102, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveSkipsExhausted(t *testing.T) {
+	a := trace.NewSliceSource([]trace.Access{{Addr: 1, Op: trace.Load, Domain: trace.User}})
+	b := trace.NewSliceSource([]trace.Access{
+		{Addr: 101, Op: trace.Load, Domain: trace.User},
+		{Addr: 102, Op: trace.Load, Domain: trace.User},
+		{Addr: 103, Op: trace.Load, Domain: trace.User},
+	})
+	il := NewInterleaveSource(1, a, b)
+	count := 0
+	for {
+		if _, ok := il.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("interleave yielded %d records, want 4", count)
+	}
+}
+
+func TestInterleaveQuantumDefault(t *testing.T) {
+	a := trace.NewSliceSource([]trace.Access{{Addr: 1, Op: trace.Load, Domain: trace.User}})
+	il := NewInterleaveSource(0, a)
+	if _, ok := il.Next(); !ok {
+		t.Fatal("quantum 0 broke the source")
+	}
+}
+
+func TestMultiAppSession(t *testing.T) {
+	src, err := MultiAppSession([]string{"browser", "music"}, 1, 500, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := trace.Collect(src, 0)
+	if len(recs) != 20000 {
+		t.Fatalf("session length %d, want 20000", len(recs))
+	}
+	// User addresses from the two apps must live in disjoint spaces;
+	// kernel addresses are shared.
+	spaces := map[uint64]bool{}
+	kernelSeen := false
+	for _, a := range recs {
+		if a.Domain == trace.User {
+			spaces[a.Addr>>40] = true
+		} else {
+			kernelSeen = true
+		}
+	}
+	if len(spaces) != 2 {
+		t.Fatalf("user address spaces = %d, want 2", len(spaces))
+	}
+	if !kernelSeen {
+		t.Fatal("no kernel accesses in session")
+	}
+	if _, err := MultiAppSession([]string{"nope"}, 1, 500, 100); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

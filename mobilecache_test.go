@@ -1,0 +1,71 @@
+package mobilecache
+
+import "testing"
+
+func TestFacadeProfiles(t *testing.T) {
+	if len(Profiles()) < 10 {
+		t.Fatal("expected the ten app profiles")
+	}
+	p, err := ProfileByName("browser")
+	if err != nil || p.Name != "browser" {
+		t.Fatalf("ProfileByName: %v %v", p.Name, err)
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	p, _ := ProfileByName("email")
+	recs, err := GenerateTrace(p, 1, 1000)
+	if err != nil || len(recs) != 1000 {
+		t.Fatalf("GenerateTrace: %d records, err %v", len(recs), err)
+	}
+	kernel := 0
+	for _, a := range recs {
+		if a.Domain == Kernel {
+			kernel++
+		}
+	}
+	if kernel == 0 {
+		t.Fatal("no kernel accesses in an interactive app trace")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	p, _ := ProfileByName("browser")
+	rep, err := Run(DefaultMachine(), p, 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPC() <= 0 || rep.L2EnergyJ() <= 0 {
+		t.Fatalf("degenerate report: ipc=%g energy=%g", rep.IPC(), rep.L2EnergyJ())
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	if len(StandardMachines()) != 7 {
+		t.Fatal("expected seven standard machines")
+	}
+	m, err := StandardMachine("dp-sr")
+	if err != nil || m.Name != "dp-sr" {
+		t.Fatalf("StandardMachine: %v %v", m.Name, err)
+	}
+	if _, err := StandardMachine("nope"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 23 {
+		t.Fatalf("expected 23 experiments, got %d", len(ids))
+	}
+	opts := DefaultExperimentOptions()
+	opts.Accesses = 20_000
+	opts.Apps = Profiles()[:1]
+	res, err := RunExperiment("E5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("experiment returned no tables")
+	}
+}
