@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test check bench bench-e21 clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: vet, the full test suite, and a
+# race-enabled short pass (the runner/chaos tests are where races
+# would hide).
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# bench-e21 regenerates the retention-fault sensitivity sweep.
+bench-e21:
+	$(GO) test -bench=BenchmarkE21RetentionFaults -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -169,6 +169,12 @@ func BenchmarkE20Mechanisms(b *testing.B) {
 	runExperiment(b, "E20", "missrate_shared", "missrate_segments", "missrate_setpart")
 }
 
+// BenchmarkE21RetentionFaults regenerates the retention-fault
+// sensitivity sweep of the STT-RAM designs.
+func BenchmarkE21RetentionFaults(b *testing.B) {
+	runExperiment(b, "E21", "energy_overhead_pct_sp-mr", "energy_overhead_pct_dp-sr", "fault_expiries_dp-sr_ber1e-03")
+}
+
 // BenchmarkT1SystemConfig regenerates the platform configuration table.
 func BenchmarkT1SystemConfig(b *testing.B) {
 	runExperiment(b, "T1", "schemes")

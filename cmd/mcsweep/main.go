@@ -1,10 +1,15 @@
 // mcsweep runs a batch of (machine, app, seed) simulations described
 // by a JSON spec and emits one CSV row per run — the bulk-experiment
-// front end for custom studies.
+// front end for custom studies. Cells run in parallel on a bounded,
+// fault-containing worker pool (internal/runner): a panicking or
+// erroring cell is recorded — with -keep-going, in a failure manifest
+// — while the rest of the sweep completes and emits its partial CSV.
 //
 // Usage:
 //
 //	mcsweep -spec sweep.json [-o results.csv]
+//	mcsweep -spec sweep.json -jobs 8 -timeout 5m -retries 2 \
+//	        -keep-going -failures-out failed.json
 //	mcsweep -dump-spec          # print a starting-point spec
 //
 // Spec format:
@@ -17,22 +22,30 @@
 //	  "warmup": 0
 //	}
 //
-// Machine entries name standard schemes or point at config JSON files
-// (anything containing a '.' or '/' is treated as a path). A positive
-// warmup measures only the accesses after the warmup prefix.
+// Machine entries name standard schemes, or point at config JSON files
+// when they are not a scheme name. A positive warmup measures only the
+// accesses after the warmup prefix.
+//
+// Rows appear in spec order (machines x apps x seeds) regardless of
+// -jobs, so identical specs produce byte-identical CSVs. With
+// -keep-going a sweep with failures still exits non-zero, after
+// writing every healthy row and the failure manifest.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
-	"strings"
+	"time"
 
 	"mobilecache/internal/config"
+	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/workload"
 )
@@ -75,6 +88,15 @@ func defaultSpec() Spec {
 	}
 }
 
+// options collects the harness knobs.
+type options struct {
+	jobs        int
+	timeout     time.Duration
+	retries     int
+	keepGoing   bool
+	failuresOut string
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsweep:", err)
@@ -87,6 +109,12 @@ func run(args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "sweep spec JSON file")
 	outPath := fs.String("o", "", "output CSV file (default stdout)")
 	dump := fs.Bool("dump-spec", false, "print a starting-point spec and exit")
+	var opt options
+	fs.IntVar(&opt.jobs, "jobs", 0, "parallel cells (default GOMAXPROCS)")
+	fs.DurationVar(&opt.timeout, "timeout", 0, "per-cell deadline (0 = none)")
+	fs.IntVar(&opt.retries, "retries", 0, "retries per cell for transient failures")
+	fs.BoolVar(&opt.keepGoing, "keep-going", false, "record failed cells and finish the sweep (still exits non-zero)")
+	fs.StringVar(&opt.failuresOut, "failures-out", "", "write the failure manifest JSON here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,44 +127,119 @@ func run(args []string, out io.Writer) error {
 	if *specPath == "" {
 		return fmt.Errorf("need -spec (or -dump-spec)")
 	}
-	f, err := os.Open(*specPath)
+	spec, err := loadSpec(*specPath)
 	if err != nil {
-		return err
-	}
-	var spec Spec
-	dec := json.NewDecoder(f)
-	dec.DisallowUnknownFields()
-	err = dec.Decode(&spec)
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("decoding spec: %w", err)
-	}
-	if err := spec.Validate(); err != nil {
 		return err
 	}
 
 	var w io.Writer = out
+	var of *os.File
 	if *outPath != "" {
-		of, err := os.Create(*outPath)
+		of, err = os.Create(*outPath)
 		if err != nil {
 			return err
 		}
-		defer of.Close()
 		w = of
 	}
-	return sweep(spec, w)
-}
-
-// machineFor resolves a machine entry: a standard scheme name or a
-// config file path.
-func machineFor(entry string) (config.Machine, error) {
-	if strings.ContainsAny(entry, "./") {
-		return config.LoadFile(entry)
+	sweepErr := sweep(spec, opt, w)
+	if of != nil {
+		// A close error is a truncated results file (e.g. full disk) —
+		// it must fail the run, not be swallowed.
+		if cerr := of.Close(); cerr != nil && sweepErr == nil {
+			sweepErr = fmt.Errorf("closing %s: %w", *outPath, cerr)
+		}
 	}
-	return sim.MachineByName(entry)
+	return sweepErr
 }
 
-func sweep(spec Spec, w io.Writer) error {
+// loadSpec reads, fully parses and validates the spec file. Trailing
+// data after the JSON object (a concatenated second spec, an editing
+// accident) is rejected: silently ignoring it would run a different
+// sweep than the file describes.
+func loadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	var spec Spec
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("decoding spec: %w", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return Spec{}, fmt.Errorf("spec %s: trailing data after the spec object (next token %v, err %v)", path, tok, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// machineFor resolves a machine entry: standard scheme names win, and
+// only non-schemes fall back to config-file loading. (Resolving by
+// name first means a scheme alias containing a '.' can never be
+// silently mistaken for a file path.)
+func machineFor(entry string) (config.Machine, error) {
+	if m, err := sim.MachineByName(entry); err == nil {
+		return m, nil
+	}
+	m, err := config.LoadFile(entry)
+	if err != nil {
+		return config.Machine{}, fmt.Errorf("machine %q is not a standard scheme (have %v) and not a loadable config file: %w",
+			entry, sim.StandardMachineNames(), err)
+	}
+	return m, nil
+}
+
+func sweep(spec Spec, opt options, w io.Writer) error {
+	// Resolve every machine and app up front: a typo in the spec is a
+	// configuration error and should fail the whole sweep immediately,
+	// not burn through N-1 healthy cells first.
+	machines := make(map[string]config.Machine, len(spec.Machines))
+	for _, entry := range spec.Machines {
+		cfg, err := machineFor(entry)
+		if err != nil {
+			return err
+		}
+		machines[entry] = cfg
+	}
+	profiles := make(map[string]workload.Profile, len(spec.Apps))
+	for _, appName := range spec.Apps {
+		prof, err := workload.ProfileByName(appName)
+		if err != nil {
+			return err
+		}
+		profiles[appName] = prof
+	}
+
+	// Cells in spec order; outcomes come back in the same order, so the
+	// CSV is byte-identical for identical specs regardless of -jobs.
+	var cells []runner.Cell
+	for _, mEntry := range spec.Machines {
+		for _, appName := range spec.Apps {
+			for _, seed := range spec.Seeds {
+				cells = append(cells, runner.Cell{Machine: mEntry, App: appName, Seed: seed})
+			}
+		}
+	}
+
+	rcfg := runner.Config{
+		Workers:   opt.jobs,
+		Timeout:   opt.timeout,
+		Retries:   opt.retries,
+		KeepGoing: opt.keepGoing,
+	}
+	outcomes, runErr := runner.Run(context.Background(), rcfg, cells,
+		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
+			cfg, prof := machines[c.Machine], profiles[c.App]
+			if spec.Warmup > 0 {
+				return sim.RunWarmWorkload(cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
+			}
+			return sim.RunWorkload(cfg, prof, c.Seed, spec.Accesses)
+		})
+
 	cw := csv.NewWriter(w)
 	header := []string{
 		"machine", "app", "seed", "accesses",
@@ -148,49 +251,71 @@ func sweep(spec Spec, w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, mEntry := range spec.Machines {
-		cfg, err := machineFor(mEntry)
-		if err != nil {
-			return err
+	for _, o := range outcomes {
+		if o.Err != nil {
+			continue
 		}
-		for _, appName := range spec.Apps {
-			prof, err := workload.ProfileByName(appName)
-			if err != nil {
-				return err
-			}
-			for _, seed := range spec.Seeds {
-				var rep sim.RunReport
-				if spec.Warmup > 0 {
-					rep, err = sim.RunWarmWorkload(cfg, prof, seed, spec.Warmup, spec.Accesses)
-				} else {
-					rep, err = sim.RunWorkload(cfg, prof, seed, spec.Accesses)
-				}
-				if err != nil {
-					return fmt.Errorf("%s on %s seed %d: %w", appName, cfg.Name, seed, err)
-				}
-				bd := rep.Energy.L2
-				row := []string{
-					cfg.Name, appName, strconv.FormatUint(seed, 10),
-					strconv.FormatUint(rep.CPU.Accesses, 10),
-					fmt.Sprintf("%.6f", rep.IPC()),
-					fmt.Sprintf("%.6f", rep.L2.MissRate()),
-					fmt.Sprintf("%.6f", rep.L2.KernelShare()),
-					fmt.Sprintf("%.6g", bd.ReadJ),
-					fmt.Sprintf("%.6g", bd.WriteJ),
-					fmt.Sprintf("%.6g", bd.LeakageJ),
-					fmt.Sprintf("%.6g", bd.RefreshJ),
-					fmt.Sprintf("%.6g", bd.Total()),
-					strconv.FormatUint(rep.DRAMReads, 10),
-					strconv.FormatUint(rep.DRAMWrites, 10),
-					fmt.Sprintf("%.6g", rep.Energy.TotalJ()),
-					strconv.FormatUint(rep.L2PoweredBytes, 10),
-				}
-				if err := cw.Write(row); err != nil {
-					return err
-				}
-			}
+		if err := cw.Write(row(machines[o.Cell.Machine].Name, o.Cell.App, o.Cell.Seed, o.Value)); err != nil {
+			return err
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+
+	manifest := runner.BuildManifest(outcomes)
+	if opt.failuresOut != "" {
+		mf, err := os.Create(opt.failuresOut)
+		if err != nil {
+			return err
+		}
+		werr := manifest.WriteJSON(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing failure manifest %s: %w", opt.failuresOut, werr)
+		}
+	}
+
+	if runErr != nil {
+		var re *runner.RunError
+		if errors.As(runErr, &re) {
+			return fmt.Errorf("sweep aborted (rerun with -keep-going to finish the healthy cells): %w", re)
+		}
+		return runErr
+	}
+	if n := len(manifest.Failed); n > 0 {
+		return fmt.Errorf("%d of %d cells failed (see failure manifest%s)", n, manifest.TotalCells, manifestHint(opt.failuresOut))
+	}
+	return nil
+}
+
+func manifestHint(path string) string {
+	if path == "" {
+		return "; pass -failures-out to save it"
+	}
+	return " in " + path
+}
+
+// row renders one successful cell's CSV record.
+func row(machine, app string, seed uint64, rep sim.RunReport) []string {
+	bd := rep.Energy.L2
+	return []string{
+		machine, app, strconv.FormatUint(seed, 10),
+		strconv.FormatUint(rep.CPU.Accesses, 10),
+		fmt.Sprintf("%.6f", rep.IPC()),
+		fmt.Sprintf("%.6f", rep.L2.MissRate()),
+		fmt.Sprintf("%.6f", rep.L2.KernelShare()),
+		fmt.Sprintf("%.6g", bd.ReadJ),
+		fmt.Sprintf("%.6g", bd.WriteJ),
+		fmt.Sprintf("%.6g", bd.LeakageJ),
+		fmt.Sprintf("%.6g", bd.RefreshJ),
+		fmt.Sprintf("%.6g", bd.Total()),
+		strconv.FormatUint(rep.DRAMReads, 10),
+		strconv.FormatUint(rep.DRAMWrites, 10),
+		fmt.Sprintf("%.6g", rep.Energy.TotalJ()),
+		strconv.FormatUint(rep.L2PoweredBytes, 10),
+	}
 }

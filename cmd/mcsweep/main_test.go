@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"mobilecache/internal/sim"
 )
 
 func writeSpec(t *testing.T, spec string) string {
@@ -142,5 +145,200 @@ func TestSweepErrors(t *testing.T) {
 	}
 	if err := run([]string{"-spec", "/does/not/exist.json"}, &out); err == nil {
 		t.Error("missing spec file accepted")
+	}
+}
+
+func TestSpecTrailingGarbageRejected(t *testing.T) {
+	base := `{"machines":["baseline-sram"],"apps":["music"],"seeds":[1],"accesses":1000}`
+	for _, trailing := range []string{`{}`, `garbage`, `42`, `{"machines":["sp"]}`} {
+		path := writeSpec(t, base+"\n"+trailing)
+		var out bytes.Buffer
+		err := run([]string{"-spec", path}, &out)
+		if err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Errorf("spec with trailing %q: err = %v, want trailing-data error", trailing, err)
+		}
+	}
+	// Trailing whitespace stays fine.
+	path := writeSpec(t, base+"\n\n  \n")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path}, &out); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestMachineForSchemeFirst(t *testing.T) {
+	// Scheme names resolve even from a directory where a file of the
+	// same name exists.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sp-mr"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	m, err := machineFor("sp-mr")
+	if err != nil || m.Name != "sp-mr" {
+		t.Fatalf("machineFor(sp-mr) = %v, %v; want the standard scheme", m.Name, err)
+	}
+	// A dotted non-scheme, non-file entry fails loudly with both facts.
+	_, err = machineFor("sp-mr.v2")
+	if err == nil {
+		t.Fatal("sp-mr.v2 accepted")
+	}
+	if !strings.Contains(err.Error(), "not a standard scheme") || !strings.Contains(err.Error(), "config file") {
+		t.Fatalf("unclear resolution error: %v", err)
+	}
+}
+
+func TestOutputFileCreateFailure(t *testing.T) {
+	path := writeSpec(t, `{"machines":["baseline-sram"],"apps":["music"],"seeds":[1],"accesses":1000}`)
+	var out bytes.Buffer
+	// -o pointing into a missing directory must fail, not silently
+	// write nowhere.
+	if err := run([]string{"-spec", path, "-o", filepath.Join(t.TempDir(), "no", "such", "dir.csv")}, &out); err == nil {
+		t.Fatal("unwritable -o accepted")
+	}
+}
+
+// chaosSpec builds a 12-cell spec (3 machines x 2 apps x 2 seeds).
+func chaosSpec(t *testing.T) string {
+	return writeSpec(t, `{
+		"machines": ["baseline-sram", "sp-mr", "dp-sr"],
+		"apps": ["browser", "music"],
+		"seeds": [1, 2],
+		"accesses": 4000
+	}`)
+}
+
+// The acceptance chaos drill: 12 cells, 25% injected panic/error rate,
+// -keep-going. The sweep must exit non-zero, emit CSV rows for every
+// healthy cell plus a manifest naming each failed (machine, app, seed),
+// and reproduce the same manifest and CSV on a second run.
+func TestChaosKeepGoingDegradesGracefully(t *testing.T) {
+	restore := sim.InstallChaos(&sim.Chaos{PanicRate: 0.125, ErrorRate: 0.125, Seed: 4})
+	defer restore()
+
+	path := chaosSpec(t)
+	runOnce := func() (string, string, error) {
+		manifestPath := filepath.Join(t.TempDir(), "failed.json")
+		var out bytes.Buffer
+		err := run([]string{"-spec", path, "-jobs", "4", "-keep-going", "-failures-out", manifestPath}, &out)
+		data, rerr := os.ReadFile(manifestPath)
+		if rerr != nil {
+			t.Fatalf("manifest not written: %v", rerr)
+		}
+		return out.String(), string(data), err
+	}
+	csvOut, manifestOut, err := runOnce()
+	if err == nil {
+		t.Fatal("sweep with failed cells exited zero")
+	}
+
+	var m struct {
+		TotalCells int `json:"total_cells"`
+		Succeeded  int `json:"succeeded"`
+		Failed     []struct {
+			Machine string `json:"machine"`
+			App     string `json:"app"`
+			Seed    uint64 `json:"seed"`
+			Error   string `json:"error"`
+		} `json:"failed"`
+	}
+	if err := json.Unmarshal([]byte(manifestOut), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCells != 12 {
+		t.Fatalf("manifest covers %d cells, want 12", m.TotalCells)
+	}
+	if len(m.Failed) == 0 || len(m.Failed) == 12 {
+		t.Fatalf("chaos at 25%% should fail some but not all cells: %d/12 failed", len(m.Failed))
+	}
+	for _, f := range m.Failed {
+		if f.Machine == "" || f.App == "" || f.Seed == 0 || f.Error == "" {
+			t.Fatalf("manifest entry incomplete: %+v", f)
+		}
+	}
+
+	rows, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rows)-1, m.Succeeded; got != want {
+		t.Fatalf("CSV has %d data rows, manifest says %d succeeded", got, want)
+	}
+	// No failed cell may appear in the CSV.
+	failed := map[string]bool{}
+	for _, f := range m.Failed {
+		failed[f.Machine+"|"+f.App+"|"+strconv.FormatUint(f.Seed, 10)] = true
+	}
+	for _, r := range rows[1:] {
+		if failed[r[0]+"|"+r[1]+"|"+r[2]] {
+			t.Fatalf("failed cell %v leaked into the CSV", r[:3])
+		}
+	}
+
+	// Same seed, same spec -> byte-identical manifest and CSV.
+	csv2, manifest2, err2 := runOnce()
+	if err2 == nil {
+		t.Fatal("second run exited zero")
+	}
+	if manifest2 != manifestOut {
+		t.Fatalf("manifest not reproducible:\n%s\n%s", manifestOut, manifest2)
+	}
+	if csv2 != csvOut {
+		t.Fatal("CSV not reproducible across runs")
+	}
+}
+
+func TestChaosWithoutKeepGoingAborts(t *testing.T) {
+	restore := sim.InstallChaos(&sim.Chaos{ErrorRate: 0.25, Seed: 4})
+	defer restore()
+	var out bytes.Buffer
+	err := run([]string{"-spec", chaosSpec(t), "-jobs", "2"}, &out)
+	if err == nil {
+		t.Fatal("failing sweep without -keep-going exited zero")
+	}
+	if !strings.Contains(err.Error(), "keep-going") {
+		t.Fatalf("abort error should point at -keep-going: %v", err)
+	}
+}
+
+func TestRetriesRecoverFlakyCells(t *testing.T) {
+	restore := sim.InstallChaos(&sim.Chaos{FlakyRate: 1, Seed: 11})
+	defer restore()
+	var out bytes.Buffer
+	spec := writeSpec(t, `{"machines":["baseline-sram"],"apps":["music"],"seeds":[1,2],"accesses":2000}`)
+	// Without retries every cell fails on its first (flaky) attempt.
+	if err := run([]string{"-spec", spec, "-keep-going"}, &out); err == nil {
+		t.Fatal("flaky cells succeeded without retries")
+	}
+	out.Reset()
+	if err := run([]string{"-spec", spec, "-retries", "1"}, &out); err != nil {
+		t.Fatalf("retried sweep failed: %v", err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("retried sweep rows = %d, err %v; want 3", len(rows), err)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	spec := writeSpec(t, `{
+		"machines": ["baseline-sram", "sp-mr"],
+		"apps": ["browser", "music"],
+		"seeds": [1, 2],
+		"accesses": 3000
+	}`)
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-spec", spec, "-jobs", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-jobs", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("-jobs changed the CSV bytes; ordered collection broken")
 	}
 }

@@ -64,6 +64,13 @@ type Segment struct {
 	// RetentionJitter derates per-line retention by up to this
 	// fraction (process variation); 0 = nominal.
 	RetentionJitter float64 `json:"retention_jitter,omitempty"`
+	// FaultBER injects stochastic retention faults: the probability,
+	// per line fill, of a seeded thermal-tail early expiry (0 = ideal
+	// cells). Requires an STT-RAM tech.
+	FaultBER float64 `json:"fault_ber,omitempty"`
+	// FaultSeed seeds the deterministic fault draws; runs with the
+	// same seed fault identically.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 }
 
 // Dynamic holds the dynamic-partition controller knobs.
@@ -244,6 +251,7 @@ func (s Segment) ToCore() (core.SegmentConfig, error) {
 		BlockBytes: s.BlockBytes, Policy: pol, Tech: tech, Refresh: ref,
 		RefreshLimit: s.RefreshLimit, Banks: s.Banks,
 		RetentionJitter: s.RetentionJitter,
+		FaultBER:        s.FaultBER, FaultSeed: s.FaultSeed,
 	}
 	if s.RetentionS > 0 {
 		if !tech.IsSTT() {

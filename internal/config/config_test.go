@@ -233,3 +233,47 @@ func TestSegmentBanksConversion(t *testing.T) {
 		t.Fatalf("banks lost: %+v", cfg)
 	}
 }
+
+func TestSegmentFaultValidation(t *testing.T) {
+	// Faults on SRAM are meaningless and must be rejected.
+	s := Segment{Name: "x", SizeKB: 256, Ways: 8, BlockBytes: 64, Tech: "sram", FaultBER: 1e-4}
+	if _, err := s.ToCore(); err == nil {
+		t.Fatal("fault BER on SRAM accepted")
+	}
+	s.Tech = "stt-short"
+	s.FaultBER = -0.1
+	if _, err := s.ToCore(); err == nil {
+		t.Fatal("negative fault BER accepted")
+	}
+	s.FaultBER = 1.5
+	if _, err := s.ToCore(); err == nil {
+		t.Fatal("fault BER above 1 accepted")
+	}
+	s.FaultBER = 1e-4
+	s.FaultSeed = 77
+	cfg, err := s.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FaultBER != 1e-4 || cfg.FaultSeed != 77 {
+		t.Fatalf("fault knobs lost in conversion: %+v", cfg)
+	}
+}
+
+func TestFaultKnobsJSONRoundTrip(t *testing.T) {
+	m := Default()
+	m.Unified.Tech = "stt-short"
+	m.Unified.FaultBER = 5e-4
+	m.Unified.FaultSeed = 9
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Unified.FaultBER != 5e-4 || back.Unified.FaultSeed != 9 {
+		t.Fatalf("fault knobs lost in JSON round trip: %+v", back.Unified)
+	}
+}

@@ -41,6 +41,7 @@ type L2Stats struct {
 	EagerWritebacks uint64
 	CleanExpiries   uint64
 	DirtyExpiries   uint64
+	FaultExpiries   uint64
 }
 
 // TotalAccesses sums both domains.
@@ -91,6 +92,7 @@ func (s *L2Stats) add(o L2Stats) {
 	s.EagerWritebacks += o.EagerWritebacks
 	s.CleanExpiries += o.CleanExpiries
 	s.DirtyExpiries += o.DirtyExpiries
+	s.FaultExpiries += o.FaultExpiries
 }
 
 // L2 is the contract every organization satisfies. The hierarchy in
@@ -145,6 +147,12 @@ type SegmentConfig struct {
 	// [retention*(1-j), retention] to model process variation (0 =
 	// nominal retention everywhere).
 	RetentionJitter float64
+	// FaultBER injects stochastic retention faults: each fill suffers
+	// a seeded thermal-tail early expiry with this probability (0 =
+	// ideal cells). Only meaningful for STT-RAM technologies.
+	FaultBER float64
+	// FaultSeed seeds the deterministic fault draws.
+	FaultSeed uint64
 }
 
 // Validate checks the segment configuration.
@@ -161,6 +169,12 @@ func (sc SegmentConfig) Validate() error {
 	}
 	if sc.Banks < 0 || sc.Banks > 64 {
 		return fmt.Errorf("core: segment %s: bank count %d outside 0..64", sc.Name, sc.Banks)
+	}
+	if sc.FaultBER < 0 || sc.FaultBER > 1 {
+		return fmt.Errorf("core: segment %s: fault BER %g outside [0, 1]", sc.Name, sc.FaultBER)
+	}
+	if sc.FaultBER > 0 && !sc.Tech.IsSTT() {
+		return fmt.Errorf("core: segment %s: retention faults need an STT-RAM tech, got %s", sc.Name, sc.Tech)
 	}
 	return nil
 }
@@ -203,6 +217,7 @@ func newSegment(cfg SegmentConfig, wb func(addr uint64)) (*segment, error) {
 	}
 	ctrl.SetRefreshLimit(cfg.RefreshLimit)
 	ctrl.SetRetentionJitter(cfg.RetentionJitter)
+	ctrl.SetRetentionFaults(cfg.FaultBER, cfg.FaultSeed)
 	banks := cfg.Banks
 	if banks <= 0 {
 		banks = 1
@@ -284,6 +299,7 @@ func (s *segment) stats() L2Stats {
 	out.EagerWritebacks = rs.EagerWritebacks
 	out.CleanExpiries = rs.CleanExpiries
 	out.DirtyExpiries = rs.DirtyExpiries
+	out.FaultExpiries = rs.FaultExpiries
 	return out
 }
 

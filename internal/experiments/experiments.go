@@ -11,12 +11,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"mobilecache/internal/report"
+	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/workload"
 )
@@ -90,8 +92,8 @@ func (r *Result) addNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// runner is one experiment implementation.
-type runner struct {
+// experiment is one experiment implementation.
+type experiment struct {
 	title string
 	paper string
 	fn    func(Options) (Result, error)
@@ -99,13 +101,13 @@ type runner struct {
 
 // registry maps experiment IDs to implementations; filled by init
 // functions across the package's files.
-var registry = map[string]runner{}
+var registry = map[string]experiment{}
 
 func register(id, title, paper string, fn func(Options) (Result, error)) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = runner{title: title, paper: paper, fn: fn}
+	registry[id] = experiment{title: title, paper: paper, fn: fn}
 }
 
 // IDs lists the registered experiment IDs in canonical order.
@@ -185,62 +187,42 @@ func cachedRun(machineName string, app workload.Profile, seed uint64, accesses i
 }
 
 // matrix runs every app on every named standard machine, in parallel
-// across the machine x app grid. Reports are keyed [machine][app].
+// across the machine x app grid on the bounded, panic-containing
+// worker pool from internal/runner. Reports are keyed [machine][app].
 // Results are deterministic regardless of scheduling: each cell is an
-// independent cold-machine simulation.
+// independent cold-machine simulation (memoized by cachedRun) and
+// outcomes are collected in cell order.
 func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunReport, error) {
-	type cell struct {
-		machine string
-		app     workload.Profile
-		seed    uint64
-	}
-	var cells []cell
+	profiles := make(map[string]workload.Profile, len(opts.Apps))
+	var cells []runner.Cell
 	for _, name := range machineNames {
 		if _, err := sim.MachineByName(name); err != nil {
 			return nil, err
 		}
 		for i, app := range opts.Apps {
-			cells = append(cells, cell{name, app, appSeed(opts.Seed, i)})
+			profiles[app.Name] = app
+			cells = append(cells, runner.Cell{Machine: name, App: app.Name, Seed: appSeed(opts.Seed, i)})
 		}
+	}
+
+	outcomes, err := runner.Run(context.Background(), runner.Config{}, cells,
+		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
+			return cachedRun(c.Machine, profiles[c.App], c.Seed, opts.Accesses)
+		})
+	if err != nil {
+		var re *runner.RunError
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("%s on %s: %w", re.Cell.App, re.Cell.Machine, re.Err)
+		}
+		return nil, err
 	}
 
 	out := make(map[string]map[string]sim.RunReport, len(machineNames))
 	for _, name := range machineNames {
 		out[name] = make(map[string]sim.RunReport, len(opts.Apps))
 	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	work := make(chan cell)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				rep, err := cachedRun(c.machine, c.app, c.seed, opts.Accesses)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s on %s: %w", c.app.Name, c.machine, err)
-				}
-				out[c.machine][c.app.Name] = rep
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, c := range cells {
-		work <- c
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for _, o := range outcomes {
+		out[o.Cell.Machine][o.Cell.App] = o.Value
 	}
 	return out, nil
 }

@@ -37,7 +37,7 @@ func runOne(t *testing.T, id string, opts Options) Result {
 
 func TestIDsCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "T1", "T2", "T3"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "T1", "T2", "T3"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v, want %v", ids, want)
 	}
@@ -345,6 +345,29 @@ func TestE20MechanismsIsolate(t *testing.T) {
 	for _, k := range []string{"missrate_segments", "missrate_setpart", "missrate_waypart"} {
 		if diff := res.Values[k] - shared; diff > 0.05 {
 			t.Fatalf("%s = %.3f, way above shared %.3f", k, res.Values[k], shared)
+		}
+	}
+}
+
+func TestE21FaultsCostEnergyDeterministically(t *testing.T) {
+	res := runOne(t, "E21", quick())
+	for _, name := range []string{"sp-mr", "dp-sr"} {
+		// Ideal cells must record zero faults; the worst BER must not.
+		if res.Values["fault_expiries_"+name+"_ber0e+00"] != 0 {
+			t.Fatalf("%s: faults at BER 0", name)
+		}
+		if res.Values["fault_expiries_"+name+"_ber1e-03"] == 0 {
+			t.Fatalf("%s: no faults at BER 1e-3", name)
+		}
+		if res.Values["energy_overhead_pct_"+name] < 0 {
+			t.Fatalf("%s: faults reduced energy: %+.2f%%", name, res.Values["energy_overhead_pct_"+name])
+		}
+	}
+	// Same options, same fault seed, same numbers.
+	again := runOne(t, "E21", quick())
+	for k, v := range res.Values {
+		if again.Values[k] != v {
+			t.Fatalf("E21 not deterministic: %s %v -> %v", k, v, again.Values[k])
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Failure is one manifest entry naming a lost cell.
+type Failure struct {
+	Machine  string `json:"machine"`
+	App      string `json:"app"`
+	Seed     uint64 `json:"seed"`
+	Attempts int    `json:"attempts"`
+	Panicked bool   `json:"panicked,omitempty"`
+	Error    string `json:"error"`
+}
+
+// Manifest summarizes a degraded sweep: how many cells ran, which
+// failed and why. It is what -keep-going leaves behind so a failed
+// subset can be diagnosed and re-run without repeating the healthy
+// cells.
+type Manifest struct {
+	TotalCells int       `json:"total_cells"`
+	Succeeded  int       `json:"succeeded"`
+	Failed     []Failure `json:"failed"`
+}
+
+// BuildManifest collapses a run's outcomes into a manifest. Failures
+// appear in cell (input) order, so identical inputs yield identical
+// manifests regardless of scheduling.
+func BuildManifest[T any](outcomes []Outcome[T]) Manifest {
+	m := Manifest{TotalCells: len(outcomes), Failed: []Failure{}}
+	for _, o := range outcomes {
+		if o.Err == nil {
+			m.Succeeded++
+			continue
+		}
+		m.Failed = append(m.Failed, Failure{
+			Machine:  o.Cell.Machine,
+			App:      o.Cell.App,
+			Seed:     o.Cell.Seed,
+			Attempts: o.Err.Attempts,
+			Panicked: o.Err.Panicked,
+			Error:    o.Err.Err.Error(),
+		})
+	}
+	return m
+}
+
+// WriteJSON emits the manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,319 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cellsN(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Machine: fmt.Sprintf("m%d", i%3), App: fmt.Sprintf("a%d", i%4), Seed: uint64(i)}
+	}
+	return cells
+}
+
+func TestRunOrderedResults(t *testing.T) {
+	cells := cellsN(20)
+	outcomes, err := Run(context.Background(), Config{Workers: 7}, cells,
+		func(_ context.Context, c Cell) (uint64, error) { return c.Seed * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(cells) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(cells))
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("cell %d failed: %v", i, o.Err)
+		}
+		if o.Cell != cells[i] || o.Value != uint64(i)*10 {
+			t.Fatalf("outcome %d out of order: %+v", i, o)
+		}
+	}
+}
+
+// Failure containment: a panicking cell yields a RunError with its
+// identity and stack, and does not abort sibling cells.
+func TestPanicContainment(t *testing.T) {
+	cases := []struct {
+		name     string
+		fail     func(c Cell) // panics or not, per cell
+		panicked bool
+	}{
+		{"panic", func(c Cell) {
+			if c.Seed == 5 {
+				panic("chaos monkey")
+			}
+		}, true},
+		{"error", func(c Cell) {}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cells := cellsN(12)
+			outcomes, err := Run(context.Background(), Config{Workers: 4, KeepGoing: true}, cells,
+				func(_ context.Context, c Cell) (int, error) {
+					tc.fail(c)
+					if !tc.panicked && c.Seed == 5 {
+						return 0, errors.New("boom")
+					}
+					return 1, nil
+				})
+			if err != nil {
+				t.Fatalf("keep-going run returned error: %v", err)
+			}
+			for i, o := range outcomes {
+				if i == 5 {
+					if o.Err == nil {
+						t.Fatal("failing cell reported success")
+					}
+					if o.Err.Cell != cells[5] {
+						t.Fatalf("RunError cell = %+v, want %+v", o.Err.Cell, cells[5])
+					}
+					if o.Err.Panicked != tc.panicked {
+						t.Fatalf("Panicked = %v, want %v", o.Err.Panicked, tc.panicked)
+					}
+					if tc.panicked && !strings.Contains(o.Err.Stack, "runner") {
+						t.Fatalf("panic stack not captured: %q", o.Err.Stack)
+					}
+					if tc.panicked && !strings.Contains(o.Err.Error(), "chaos monkey") {
+						t.Fatalf("panic value lost: %v", o.Err)
+					}
+					continue
+				}
+				if o.Err != nil {
+					t.Fatalf("sibling cell %d aborted: %v", i, o.Err)
+				}
+			}
+		})
+	}
+}
+
+func TestFirstFailureCancelsWithoutKeepGoing(t *testing.T) {
+	cells := cellsN(40)
+	var ran atomic.Int64
+	outcomes, err := Run(context.Background(), Config{Workers: 2}, cells,
+		func(ctx context.Context, c Cell) (int, error) {
+			ran.Add(1)
+			if c.Seed == 1 {
+				return 0, errors.New("hard failure")
+			}
+			// Give the canceller a chance to win the race.
+			select {
+			case <-ctx.Done():
+			case <-time.After(2 * time.Millisecond):
+			}
+			return 1, nil
+		})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Cell.Seed != 1 {
+		t.Fatalf("reported failure is %s, want seed 1", re.Cell)
+	}
+	// At least one trailing cell must have been skipped.
+	skipped := 0
+	for _, o := range outcomes {
+		if o.Err != nil && errors.Is(o.Err.Err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatalf("no cells cancelled after failure (ran %d of %d)", ran.Load(), len(cells))
+	}
+}
+
+// Context cancellation stops the pool promptly with no goroutine leak.
+func TestCancellationDrainsPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(ctx, Config{Workers: 4}, cellsN(64),
+			func(ctx context.Context, c Cell) (int, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-ctx.Done() // fully context-aware cell
+				return 0, ctx.Err()
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not stop after cancellation")
+	}
+	// The workers and attempt goroutines must all drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after drain", before, g)
+	}
+}
+
+func TestPerCellTimeout(t *testing.T) {
+	cells := cellsN(3)
+	outcomes, err := Run(context.Background(), Config{Workers: 3, Timeout: 20 * time.Millisecond, KeepGoing: true}, cells,
+		func(ctx context.Context, c Cell) (int, error) {
+			if c.Seed == 2 {
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(10 * time.Second):
+				}
+			}
+			return 1, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[2].Err == nil || !errors.Is(outcomes[2].Err.Err, context.DeadlineExceeded) {
+		t.Fatalf("slow cell outcome = %+v, want deadline exceeded", outcomes[2].Err)
+	}
+	if outcomes[0].Err != nil || outcomes[1].Err != nil {
+		t.Fatal("fast siblings affected by slow cell")
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	var calls atomic.Int64
+	outcomes, err := Run(context.Background(), Config{Workers: 1, Retries: 3, Backoff: time.Millisecond}, cellsN(1),
+		func(_ context.Context, c Cell) (string, error) {
+			if calls.Add(1) < 3 {
+				return "", Transient(errors.New("flaky"))
+			}
+			return "ok", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Value != "ok" || calls.Load() != 3 {
+		t.Fatalf("value %q after %d calls, want ok after 3", outcomes[0].Value, calls.Load())
+	}
+}
+
+func TestRetryExhaustionAndPermanentErrors(t *testing.T) {
+	var transientCalls, permanentCalls atomic.Int64
+	cells := []Cell{{Machine: "transient"}, {Machine: "permanent"}}
+	outcomes, err := Run(context.Background(), Config{Workers: 2, Retries: 2, Backoff: time.Millisecond, KeepGoing: true}, cells,
+		func(_ context.Context, c Cell) (int, error) {
+			if c.Machine == "transient" {
+				transientCalls.Add(1)
+				return 0, Transient(errors.New("always flaky"))
+			}
+			permanentCalls.Add(1)
+			return 0, errors.New("hard")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := transientCalls.Load(); got != 3 {
+		t.Fatalf("transient cell tried %d times, want 3 (1 + 2 retries)", got)
+	}
+	if got := permanentCalls.Load(); got != 1 {
+		t.Fatalf("permanent error retried: %d calls", got)
+	}
+	if outcomes[0].Err == nil || outcomes[0].Err.Attempts != 3 {
+		t.Fatalf("transient outcome = %+v, want 3 attempts recorded", outcomes[0].Err)
+	}
+	if !IsTransient(outcomes[0].Err.Err) || IsTransient(outcomes[1].Err.Err) {
+		t.Fatal("transient marking lost in outcomes")
+	}
+}
+
+// Determinism: identical cells and seeds produce identical outcomes
+// (and manifests) regardless of worker count — ordered collection makes
+// parallelism invisible.
+func TestDeterministicOutcomesAcrossWorkerCounts(t *testing.T) {
+	fn := func(_ context.Context, c Cell) (string, error) {
+		if c.Seed%4 == 3 {
+			return "", fmt.Errorf("injected failure for %s", c)
+		}
+		return fmt.Sprintf("v-%s-%d", c.Machine, c.Seed), nil
+	}
+	type flat struct {
+		Cell  Cell
+		Value string
+		Err   string
+	}
+	render := func(workers int) ([]flat, string) {
+		outcomes, _ := Run(context.Background(), Config{Workers: workers, KeepGoing: true}, cellsN(24), fn)
+		var fs []flat
+		for _, o := range outcomes {
+			f := flat{Cell: o.Cell, Value: o.Value}
+			if o.Err != nil {
+				f.Err = o.Err.Error()
+			}
+			fs = append(fs, f)
+		}
+		var buf bytes.Buffer
+		if err := BuildManifest(outcomes).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return fs, buf.String()
+	}
+	f1, m1 := render(1)
+	f8, m8 := render(8)
+	if !reflect.DeepEqual(f1, f8) {
+		t.Fatalf("outcomes differ across worker counts:\n1: %+v\n8: %+v", f1, f8)
+	}
+	if m1 != m8 {
+		t.Fatalf("manifests differ:\n%s\n%s", m1, m8)
+	}
+}
+
+func TestManifestContents(t *testing.T) {
+	outcomes := []Outcome[int]{
+		{Cell: Cell{Machine: "sp-mr", App: "browser", Seed: 1}, Value: 1},
+		{Cell: Cell{Machine: "dp-sr", App: "music", Seed: 2},
+			Err: &RunError{Cell: Cell{Machine: "dp-sr", App: "music", Seed: 2}, Attempts: 2, Panicked: true, Err: errors.New("panic: chaos")}},
+	}
+	m := BuildManifest(outcomes)
+	if m.TotalCells != 2 || m.Succeeded != 1 || len(m.Failed) != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	f := m.Failed[0]
+	if f.Machine != "dp-sr" || f.App != "music" || f.Seed != 2 || !f.Panicked || f.Attempts != 2 {
+		t.Fatalf("failure entry = %+v", f)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("manifest JSON round-trip changed it:\n%+v\n%+v", m, back)
+	}
+}
+
+func TestEmptyCellsAndWorkerClamp(t *testing.T) {
+	outcomes, err := Run(context.Background(), Config{Workers: 99}, nil,
+		func(_ context.Context, c Cell) (int, error) { return 0, nil })
+	if err != nil || len(outcomes) != 0 {
+		t.Fatalf("empty run: %v, %d outcomes", err, len(outcomes))
+	}
+}

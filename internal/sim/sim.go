@@ -178,6 +178,9 @@ func RunTrace(m *Machine, name string, src trace.Source, maxAccesses uint64) Run
 // RunWorkload builds the machine fresh, generates the app's trace and
 // replays it. Machines are single-use: each run gets cold caches.
 func RunWorkload(cfg config.Machine, prof workload.Profile, seed uint64, accesses int) (RunReport, error) {
+	if err := chaosEnter(cfg.Name, prof.Name, seed); err != nil {
+		return RunReport{}, err
+	}
 	m, err := Build(cfg)
 	if err != nil {
 		return RunReport{}, err

@@ -102,6 +102,9 @@ func RunWarm(m *Machine, name string, src trace.Source, warmupAccesses, measureA
 // builds the machine, generates warmup+measure accesses of the app and
 // measures only the post-warmup portion.
 func RunWarmWorkload(cfg config.Machine, prof workload.Profile, seed uint64, warmup, measure int) (RunReport, error) {
+	if err := chaosEnter(cfg.Name, prof.Name, seed); err != nil {
+		return RunReport{}, err
+	}
 	m, err := Build(cfg)
 	if err != nil {
 		return RunReport{}, err

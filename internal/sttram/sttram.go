@@ -20,6 +20,14 @@
 // dirty line is always visited before its cells decay (a line written
 // at time t is visited no later than t + retention/2). The access path
 // must still consult Expired for clean lines that lapsed between scans.
+//
+// That guarantee assumes ideal cells. Real relaxed-retention arrays
+// additionally suffer stochastic retention faults — thermal-noise /
+// process-variation tail events that flip a cell long before its
+// nominal retention. SetRetentionFaults injects such faults (seeded,
+// per-fill, with a configurable rate), deliberately breaking the scan
+// guarantee so the data-loss accounting (DirtyExpiries, FaultExpiries)
+// measures what a fault-afflicted array would actually lose.
 package sttram
 
 import (
@@ -101,9 +109,17 @@ type Stats struct {
 	// their retention lapsed (scan or access path).
 	CleanExpiries uint64
 	// DirtyExpiries counts dirty lines that lapsed — with a correctly
-	// configured controller this must stay zero; it is surfaced so
-	// tests and experiments can verify no silent data loss occurred.
+	// configured controller and no injected faults this must stay zero;
+	// it is surfaced so tests and experiments can verify no silent data
+	// loss occurred. Under stochastic retention faults (SetRetentionFaults)
+	// a dirty line can genuinely die before the scan reaches it, and
+	// this counter measures that loss.
 	DirtyExpiries uint64
+	// FaultExpiries counts lines invalidated before their nominal
+	// (jittered) retention because an injected stochastic fault cut
+	// their effective retention short. Always zero when fault injection
+	// is off. Fault expiries are also counted as clean/dirty expiries.
+	FaultExpiries uint64
 }
 
 // Controller manages retention for one cache array.
@@ -125,6 +141,15 @@ type Controller struct {
 	// arrays have process variation, and the weakest cell bounds a
 	// line's life. Zero keeps the nominal retention for every line.
 	jitter float64
+	// faultBER, when positive, injects stochastic retention failures:
+	// each line fill draws (deterministically from faultSeed, the
+	// line's position and its write time) whether this residency
+	// suffers a thermal-tail early flip, and if so when. Unlike jitter,
+	// faults are per-fill and can strike long before the scan schedule
+	// protects the line — the regime where the refresh controller's
+	// data-loss accounting is actually exercised.
+	faultBER  float64
+	faultSeed uint64
 }
 
 // NewController wires retention management onto a cache. retention is
@@ -196,6 +221,72 @@ func (ct *Controller) lineRetention(set, way int) uint64 {
 	return r
 }
 
+// faultTailLambda shapes the exponential thermal-tail failure time:
+// a faulted residency flips at retention * Exp(1)/faultTailLambda
+// (clamped into [1 cycle, nominal)), i.e. the mean early flip lands at
+// 1/8 of the nominal retention — well inside the scan period, so
+// faults genuinely escape the refresh schedule.
+const faultTailLambda = 8.0
+
+// SetRetentionFaults injects stochastic retention failures: with
+// probability ber, a line fill's retention is cut to an exponentially
+// distributed early flip time (thermal noise / process-variation tail,
+// after Kuan & Adegbija's STTRAM fault analysis). Draws are a pure
+// function of (seed, set, way, write time), so identical runs fault
+// identically regardless of scheduling. ber is clamped to [0, 1];
+// zero disables injection.
+func (ct *Controller) SetRetentionFaults(ber float64, seed uint64) {
+	if ber < 0 || math.IsNaN(ber) {
+		ber = 0
+	}
+	if ber > 1 {
+		ber = 1
+	}
+	ct.faultBER = ber
+	ct.faultSeed = seed
+}
+
+// FaultBER reports the injected per-fill fault probability.
+func (ct *Controller) FaultBER() float64 { return ct.faultBER }
+
+// mix64 is a splitmix64 finalizer — the diffuser behind fault draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to a uniform float64 in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// effectiveRetention is the residency's actual retention: the jittered
+// per-line value, further cut short when this (set, way, writtenAt)
+// residency drew an injected fault.
+func (ct *Controller) effectiveRetention(set, way int, writtenAt uint64) uint64 {
+	r := ct.lineRetention(set, way)
+	if ct.faultBER == 0 {
+		return r
+	}
+	h := mix64(ct.faultSeed ^ (uint64(set)*0x9e3779b97f4a7c15 + uint64(way)*0xbf58476d1ce4e5b9 + writtenAt*0x2545f4914f6cdd1d))
+	if unit(h) >= ct.faultBER {
+		return r
+	}
+	// Faulted: exponential early flip, clamped below the nominal value
+	// so a fault is always an *early* expiry.
+	frac := -math.Log(1-unit(mix64(h))) / faultTailLambda
+	fr := uint64(float64(r) * frac)
+	if fr >= r {
+		fr = r - 1
+	}
+	if fr == 0 {
+		fr = 1
+	}
+	return fr
+}
+
 // RefreshLimit reports the idle-refresh cap.
 func (ct *Controller) RefreshLimit() uint32 { return ct.refreshLimit }
 
@@ -222,16 +313,27 @@ func (ct *Controller) Expired(set, way int, now uint64) bool {
 	if meta == nil {
 		return false
 	}
-	return now-meta.WrittenAt >= ct.lineRetention(set, way)
+	return now-meta.WrittenAt >= ct.effectiveRetention(set, way, meta.WrittenAt)
 }
 
 // HandleExpired invalidates an expired line found on the access path,
 // accounting it as clean or dirty expiry. It returns whether the line
 // was dirty (indicating data loss the configuration failed to prevent).
+// An expiry arriving before the line's nominal (jittered) retention can
+// only come from an injected fault and is additionally counted as one.
 func (ct *Controller) HandleExpired(set, way int, now uint64) bool {
+	faulted := false
+	if ct.faultBER > 0 {
+		if meta := ct.c.Meta(set, way); meta != nil {
+			faulted = now-meta.WrittenAt < ct.lineRetention(set, way)
+		}
+	}
 	dirty, _, ok := ct.c.MarkExpired(set, way, now)
 	if !ok {
 		return false
+	}
+	if faulted {
+		ct.stats.FaultExpiries++
 	}
 	if dirty {
 		ct.stats.DirtyExpiries++
@@ -264,13 +366,15 @@ func (ct *Controller) scan(t uint64) {
 	var acts []action
 	ct.c.VisitValid(func(set, way int, meta *cache.BlockMeta) {
 		age := t - meta.WrittenAt
-		if age >= ct.lineRetention(set, way) {
+		if age >= ct.effectiveRetention(set, way, meta.WrittenAt) {
 			// Already lapsed; the data is gone whatever the policy.
 			acts = append(acts, action{set, way, 2})
 			return
 		}
 		// Lines younger than a scan period will be visited again
-		// before they can expire; leave them alone.
+		// before they can expire; leave them alone. (An injected fault
+		// can still strike inside this window — the next scan or the
+		// access path will find the corpse.)
 		if age < ct.scanPeriod() {
 			return
 		}

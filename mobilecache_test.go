@@ -55,8 +55,8 @@ func TestFacadeMachines(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(ids))
 	}
 	opts := DefaultExperimentOptions()
 	opts.Accesses = 20_000
