@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-e21 clean
+.PHONY: build test check bench bench-json bench-e21 clean
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/runner/ ./internal/tracestore/ ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json regenerates BENCH_PR2.json, the trace-arena performance
+# evidence (replay ns+allocs per access, quick-matrix speedup vs a
+# trace-regenerating baseline).
+bench-json:
+	MC_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON -count=1 -v .
 
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:

@@ -10,6 +10,12 @@
 //
 // Experiment IDs E1..E12 are the reconstructed figures, T1/T2 the
 // tables; see DESIGN.md for the per-experiment index.
+//
+// Every experiment in a run shares one trace arena
+// (internal/tracestore), bounded by -trace-cache-mb, so experiments
+// that revisit the same (app, seed) replay cached packed traces
+// instead of regenerating them. -cpuprofile and -memprofile write
+// pprof profiles of the run.
 package main
 
 import (
@@ -18,9 +24,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mobilecache/internal/experiments"
+	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -41,6 +50,9 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to dump tables as CSV")
 	mdDir := fs.String("md", "", "directory to dump tables as Markdown")
 	svgDir := fs.String("svg", "", "directory to write SVG figures")
+	traceCacheMB := fs.Int("trace-cache-mb", 256, "trace arena LRU budget in MB (0 = unlimited)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile here")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,7 +64,41 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	opts := experiments.Options{Accesses: *accesses, Seed: *seed, Apps: workload.Profiles()}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	opts := experiments.Options{
+		Accesses:   *accesses,
+		Seed:       *seed,
+		Apps:       workload.Profiles(),
+		TraceStore: tracestore.New(int64(*traceCacheMB) << 20),
+	}
 	if *apps != "" {
 		opts.Apps = nil
 		for _, name := range strings.Split(*apps, ",") {

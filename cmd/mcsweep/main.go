@@ -30,6 +30,14 @@
 // -jobs, so identical specs produce byte-identical CSVs. With
 // -keep-going a sweep with failures still exits non-zero, after
 // writing every healthy row and the failure manifest.
+//
+// All cells of a sweep share one trace arena (internal/tracestore):
+// rows that repeat an (app, seed) pair across machines replay the
+// cached packed trace instead of regenerating it. -trace-cache-mb
+// bounds the arena's memory; the end-of-sweep summary on stderr
+// reports, manifest-style, how many cells ran and how the arena
+// performed (generated/hits/evictions). -cpuprofile and -memprofile
+// write pprof profiles for performance work on the sweep engine.
 package main
 
 import (
@@ -41,12 +49,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"mobilecache/internal/config"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
+	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -90,31 +101,35 @@ func defaultSpec() Spec {
 
 // options collects the harness knobs.
 type options struct {
-	jobs        int
-	timeout     time.Duration
-	retries     int
-	keepGoing   bool
-	failuresOut string
+	jobs         int
+	timeout      time.Duration
+	retries      int
+	keepGoing    bool
+	failuresOut  string
+	traceCacheMB int
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("mcsweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep spec JSON file")
 	outPath := fs.String("o", "", "output CSV file (default stdout)")
 	dump := fs.Bool("dump-spec", false, "print a starting-point spec and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile here")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile here")
 	var opt options
 	fs.IntVar(&opt.jobs, "jobs", 0, "parallel cells (default GOMAXPROCS)")
 	fs.DurationVar(&opt.timeout, "timeout", 0, "per-cell deadline (0 = none)")
 	fs.IntVar(&opt.retries, "retries", 0, "retries per cell for transient failures")
 	fs.BoolVar(&opt.keepGoing, "keep-going", false, "record failed cells and finish the sweep (still exits non-zero)")
 	fs.StringVar(&opt.failuresOut, "failures-out", "", "write the failure manifest JSON here")
+	fs.IntVar(&opt.traceCacheMB, "trace-cache-mb", 256, "trace arena LRU budget in MB (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,16 +147,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	stopProfile, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+
 	var w io.Writer = out
 	var of *os.File
 	if *outPath != "" {
 		of, err = os.Create(*outPath)
 		if err != nil {
+			stopProfile()
 			return err
 		}
 		w = of
 	}
-	sweepErr := sweep(spec, opt, w)
+	sweepErr := sweep(spec, opt, w, errOut)
 	if of != nil {
 		// A close error is a truncated results file (e.g. full disk) —
 		// it must fail the run, not be swallowed.
@@ -149,7 +170,49 @@ func run(args []string, out io.Writer) error {
 			sweepErr = fmt.Errorf("closing %s: %w", *outPath, cerr)
 		}
 	}
+	if perr := stopProfile(); perr != nil && sweepErr == nil {
+		sweepErr = perr
+	}
 	return sweepErr
+}
+
+// startProfiles wires the optional pprof outputs and returns the
+// function that finalizes them (stops the CPU profile, snapshots the
+// heap after a GC).
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var ferr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			ferr = cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return ferr
+	}, nil
 }
 
 // loadSpec reads, fully parses and validates the spec file. Trailing
@@ -193,7 +256,7 @@ func machineFor(entry string) (config.Machine, error) {
 	return m, nil
 }
 
-func sweep(spec Spec, opt options, w io.Writer) error {
+func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 	// Resolve every machine and app up front: a typo in the spec is a
 	// configuration error and should fail the whole sweep immediately,
 	// not burn through N-1 healthy cells first.
@@ -225,6 +288,11 @@ func sweep(spec Spec, opt options, w io.Writer) error {
 		}
 	}
 
+	// One trace arena for the whole sweep: cells that repeat an
+	// (app, seed) pair across machines replay the cached packed trace
+	// instead of regenerating it.
+	store := tracestore.New(int64(opt.traceCacheMB) << 20)
+
 	rcfg := runner.Config{
 		Workers:   opt.jobs,
 		Timeout:   opt.timeout,
@@ -235,9 +303,9 @@ func sweep(spec Spec, opt options, w io.Writer) error {
 		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
 			cfg, prof := machines[c.Machine], profiles[c.App]
 			if spec.Warmup > 0 {
-				return sim.RunWarmWorkload(cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
+				return sim.RunWarmWorkloadFrom(store, cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
 			}
-			return sim.RunWorkload(cfg, prof, c.Seed, spec.Accesses)
+			return sim.RunWorkloadFrom(store, cfg, prof, c.Seed, spec.Accesses)
 		})
 
 	cw := csv.NewWriter(w)
@@ -265,6 +333,11 @@ func sweep(spec Spec, opt options, w io.Writer) error {
 	}
 
 	manifest := runner.BuildManifest(outcomes)
+	st := store.Stats()
+	fmt.Fprintf(errOut,
+		"sweep: %d cells (%d ok, %d failed); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted\n",
+		manifest.TotalCells, manifest.Succeeded, len(manifest.Failed),
+		st.Generated, st.Hits, st.Misses, float64(st.BytesInUse)/(1<<20), st.Evictions)
 	if opt.failuresOut != "" {
 		mf, err := os.Create(opt.failuresOut)
 		if err != nil {

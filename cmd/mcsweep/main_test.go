@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -24,7 +25,7 @@ func writeSpec(t *testing.T, spec string) string {
 
 func TestDumpSpec(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-dump-spec"}, &out); err != nil {
+	if err := run([]string{"-dump-spec"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"machines"`) {
@@ -40,7 +41,7 @@ func TestSweepProducesCSV(t *testing.T) {
 		"accesses": 20000
 	}`)
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path}, &out); err != nil {
+	if err := run([]string{"-spec", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
@@ -79,6 +80,30 @@ func TestSweepProducesCSV(t *testing.T) {
 	}
 }
 
+// TestSweepSharedTraceArena: all cells of a sweep share one trace
+// store, so a 2-machine x 1-app x 2-seed sweep generates exactly 2
+// traces and replays them for the second machine — and the stderr
+// summary surfaces those counters.
+func TestSweepSharedTraceArena(t *testing.T) {
+	path := writeSpec(t, `{
+		"machines": ["baseline-sram", "sp-mr"],
+		"apps": ["music"],
+		"seeds": [1, 2],
+		"accesses": 20000
+	}`)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-spec", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	summary := errOut.String()
+	if !strings.Contains(summary, "4 cells (4 ok, 0 failed)") {
+		t.Fatalf("summary missing cell counts:\n%s", summary)
+	}
+	if !strings.Contains(summary, "2 generated, 2 hits, 2 misses") {
+		t.Fatalf("summary missing trace-arena counters (want 2 generated, 2 hits, 2 misses):\n%s", summary)
+	}
+}
+
 func TestSweepWithWarmupAndFile(t *testing.T) {
 	path := writeSpec(t, `{
 		"machines": ["baseline-sram"],
@@ -89,7 +114,7 @@ func TestSweepWithWarmupAndFile(t *testing.T) {
 	}`)
 	outPath := filepath.Join(t.TempDir(), "out.csv")
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path, "-o", outPath}, &out); err != nil {
+	if err := run([]string{"-spec", path, "-o", outPath}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -113,7 +138,7 @@ func TestSweepWithConfigFileMachine(t *testing.T) {
 	spec := `{"machines": ["` + filepath.ToSlash(mPath) + `"], "apps": ["music"], "seeds": [1], "accesses": 10000}`
 	path := writeSpec(t, spec)
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path}, &out); err != nil {
+	if err := run([]string{"-spec", path}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "dp-sr") {
@@ -135,15 +160,15 @@ func TestSweepErrors(t *testing.T) {
 	for _, spec := range cases {
 		path := writeSpec(t, spec)
 		var out bytes.Buffer
-		if err := run([]string{"-spec", path}, &out); err == nil {
+		if err := run([]string{"-spec", path}, &out, io.Discard); err == nil {
 			t.Errorf("spec %s accepted, want error", spec)
 		}
 	}
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run([]string{}, &out, io.Discard); err == nil {
 		t.Error("missing -spec accepted")
 	}
-	if err := run([]string{"-spec", "/does/not/exist.json"}, &out); err == nil {
+	if err := run([]string{"-spec", "/does/not/exist.json"}, &out, io.Discard); err == nil {
 		t.Error("missing spec file accepted")
 	}
 }
@@ -153,7 +178,7 @@ func TestSpecTrailingGarbageRejected(t *testing.T) {
 	for _, trailing := range []string{`{}`, `garbage`, `42`, `{"machines":["sp"]}`} {
 		path := writeSpec(t, base+"\n"+trailing)
 		var out bytes.Buffer
-		err := run([]string{"-spec", path}, &out)
+		err := run([]string{"-spec", path}, &out, io.Discard)
 		if err == nil || !strings.Contains(err.Error(), "trailing") {
 			t.Errorf("spec with trailing %q: err = %v, want trailing-data error", trailing, err)
 		}
@@ -161,7 +186,7 @@ func TestSpecTrailingGarbageRejected(t *testing.T) {
 	// Trailing whitespace stays fine.
 	path := writeSpec(t, base+"\n\n  \n")
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path}, &out); err != nil {
+	if err := run([]string{"-spec", path}, &out, io.Discard); err != nil {
 		t.Fatalf("trailing whitespace rejected: %v", err)
 	}
 }
@@ -197,7 +222,7 @@ func TestOutputFileCreateFailure(t *testing.T) {
 	var out bytes.Buffer
 	// -o pointing into a missing directory must fail, not silently
 	// write nowhere.
-	if err := run([]string{"-spec", path, "-o", filepath.Join(t.TempDir(), "no", "such", "dir.csv")}, &out); err == nil {
+	if err := run([]string{"-spec", path, "-o", filepath.Join(t.TempDir(), "no", "such", "dir.csv")}, &out, io.Discard); err == nil {
 		t.Fatal("unwritable -o accepted")
 	}
 }
@@ -224,7 +249,7 @@ func TestChaosKeepGoingDegradesGracefully(t *testing.T) {
 	runOnce := func() (string, string, error) {
 		manifestPath := filepath.Join(t.TempDir(), "failed.json")
 		var out bytes.Buffer
-		err := run([]string{"-spec", path, "-jobs", "4", "-keep-going", "-failures-out", manifestPath}, &out)
+		err := run([]string{"-spec", path, "-jobs", "4", "-keep-going", "-failures-out", manifestPath}, &out, io.Discard)
 		data, rerr := os.ReadFile(manifestPath)
 		if rerr != nil {
 			t.Fatalf("manifest not written: %v", rerr)
@@ -296,7 +321,7 @@ func TestChaosWithoutKeepGoingAborts(t *testing.T) {
 	restore := sim.InstallChaos(&sim.Chaos{ErrorRate: 0.25, Seed: 4})
 	defer restore()
 	var out bytes.Buffer
-	err := run([]string{"-spec", chaosSpec(t), "-jobs", "2"}, &out)
+	err := run([]string{"-spec", chaosSpec(t), "-jobs", "2"}, &out, io.Discard)
 	if err == nil {
 		t.Fatal("failing sweep without -keep-going exited zero")
 	}
@@ -311,11 +336,11 @@ func TestRetriesRecoverFlakyCells(t *testing.T) {
 	var out bytes.Buffer
 	spec := writeSpec(t, `{"machines":["baseline-sram"],"apps":["music"],"seeds":[1,2],"accesses":2000}`)
 	// Without retries every cell fails on its first (flaky) attempt.
-	if err := run([]string{"-spec", spec, "-keep-going"}, &out); err == nil {
+	if err := run([]string{"-spec", spec, "-keep-going"}, &out, io.Discard); err == nil {
 		t.Fatal("flaky cells succeeded without retries")
 	}
 	out.Reset()
-	if err := run([]string{"-spec", spec, "-retries", "1"}, &out); err != nil {
+	if err := run([]string{"-spec", spec, "-retries", "1"}, &out, io.Discard); err != nil {
 		t.Fatalf("retried sweep failed: %v", err)
 	}
 	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
@@ -332,10 +357,10 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		"accesses": 3000
 	}`)
 	var serial, parallel bytes.Buffer
-	if err := run([]string{"-spec", spec, "-jobs", "1"}, &serial); err != nil {
+	if err := run([]string{"-spec", spec, "-jobs", "1"}, &serial, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-spec", spec, "-jobs", "8"}, &parallel); err != nil {
+	if err := run([]string{"-spec", spec, "-jobs", "8"}, &parallel, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {

@@ -69,13 +69,11 @@ func (c Config) Sets() int {
 // BlockMeta is the externally visible per-line metadata. Controllers
 // (refresh, repartitioning) read it; WrittenAt is also updated by
 // refresh operations through Rewrite.
+// BlockMeta fields are ordered widest-first so the struct packs tight;
+// with the line wrapper below that keeps one way at exactly 64 bytes.
 type BlockMeta struct {
 	// Addr is the block-aligned address the line holds.
 	Addr uint64
-	// Domain is the owner domain of the line.
-	Domain trace.Domain
-	// Dirty reports whether the line has unwritten-back stores.
-	Dirty bool
 	// FilledAt is the time the line was brought in.
 	FilledAt uint64
 	// WrittenAt is the last time the physical cells were written:
@@ -87,16 +85,23 @@ type BlockMeta struct {
 	// line was last accessed; refresh controllers use it to stop
 	// refreshing idle lines (the "dynamic refresh" scheme).
 	RefreshCount uint32
+	// Domain is the owner domain of the line.
+	Domain trace.Domain
+	// Dirty reports whether the line has unwritten-back stores.
+	Dirty bool
 }
 
+// line packs to exactly 64 bytes — one host cache line per way — with
+// the tag-match and replacement fields every probe and touch uses at
+// the head of the struct.
 type line struct {
-	meta  BlockMeta
-	tag   uint64
-	valid bool
+	tag    uint64
+	lruSeq uint64 // LRU: last-use sequence number; FIFO: fill sequence
+	meta   BlockMeta
+	valid  bool
 	// replacement state
-	lruSeq  uint64 // LRU: last-use sequence number; FIFO: fill sequence
-	rrpv    uint8  // SRRIP re-reference prediction value
-	plruHot bool   // tree-PLRU approximation bit
+	rrpv    uint8 // SRRIP re-reference prediction value
+	plruHot bool  // tree-PLRU approximation bit
 }
 
 // Stats aggregates cache event counters, split by domain where the
@@ -204,10 +209,24 @@ func (s *Stats) DomainMissRate(d trace.Domain) float64 {
 type Cache struct {
 	cfg        Config
 	sets       int
+	ways       int // == cfg.Ways, hoisted for the lookup path
 	blockShift uint
+	tagShift   uint
 	indexMask  uint64
 	lines      []line
-	seq        uint64 // replacement sequence counter
+	// tags mirrors lines[i].tag for valid lines (invalidTag otherwise)
+	// in a dense array of its own: a whole set's tags share one host
+	// cache line, so the per-way scan in Lookup/Probe stops striding
+	// across the much larger line structs. Lines stay authoritative —
+	// a tag match is verified against the line before it counts.
+	tags []uint64
+	seq  uint64 // replacement sequence counter
+
+	// allOn is true while every way is powered — the permanent state of
+	// every cache except a power-gated dynamic partition. Lookup and
+	// Probe then scan the set sequentially instead of walking the
+	// enabled-way bitmask.
+	allOn bool
 
 	// enabledMask marks powered ways; domainMask[d] restricts where
 	// domain d may allocate. A domain mask is always interpreted
@@ -242,12 +261,19 @@ func New(cfg Config) (*Cache, error) {
 	c := &Cache{
 		cfg:        cfg,
 		sets:       sets,
+		ways:       cfg.Ways,
 		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		tagShift:   uint(bits.Len64(uint64(sets - 1))),
 		indexMask:  uint64(sets - 1),
 		lines:      make([]line, sets*cfg.Ways),
+		tags:       make([]uint64, sets*cfg.Ways),
 		policy:     cfg.Policy,
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
 	c.enabledMask = allWays(cfg.Ways)
+	c.allOn = true
 	c.domainMask[trace.User] = c.enabledMask
 	c.domainMask[trace.Kernel] = c.enabledMask
 	c.stats.Lifetimes[trace.User] = &Log2Hist{}
@@ -256,6 +282,11 @@ func New(cfg Config) (*Cache, error) {
 	c.stats.WriteIntervals[trace.Kernel] = &Log2Hist{}
 	return c, nil
 }
+
+// invalidTag marks empty slots in the tags sidecar. A genuine tag may
+// collide with it (an all-ones address), which is why a sidecar match
+// is always re-verified against the line struct before it counts.
+const invalidTag = ^uint64(0)
 
 func allWays(n int) uint64 {
 	if n >= 64 {
@@ -280,7 +311,7 @@ func (c *Cache) BlockAddr(addr uint64) uint64 {
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	b := addr >> c.blockShift
-	return int(b & c.indexMask), b >> uint(bits.Len64(c.indexMask))
+	return int(b & c.indexMask), b >> c.tagShift
 }
 
 func (c *Cache) line(set, way int) *line {
@@ -299,6 +330,7 @@ func (c *Cache) SetEnabledMask(mask uint64) {
 		panic(fmt.Sprintf("cache %s: cannot disable every way", c.cfg.Name))
 	}
 	c.enabledMask = mask
+	c.allOn = mask == allWays(c.cfg.Ways)
 	for d := range c.domainMask {
 		c.domainMask[d] &= mask
 	}
@@ -328,13 +360,24 @@ func (c *Cache) DomainMask(d trace.Domain) uint64 { return c.domainMask[d] }
 // not reported (the data is gone once a way is gated).
 func (c *Cache) Probe(addr uint64) (set, way int, ok bool) {
 	set, tag := c.index(addr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.enabledMask&(1<<uint(w)) == 0 {
-			continue
+	base := set * c.ways
+	if c.allOn {
+		tags := c.tags[base : base+c.ways]
+		for w := range tags {
+			if tags[w] == tag {
+				if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+					return set, w, true
+				}
+			}
 		}
-		ln := c.line(set, w)
-		if ln.valid && ln.tag == tag {
-			return set, w, true
+		return set, -1, false
+	}
+	for m := c.enabledMask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+				return set, w, true
+			}
 		}
 	}
 	return set, -1, false
@@ -349,11 +392,70 @@ func (c *Cache) Meta(set, way int) *BlockMeta {
 	return &ln.meta
 }
 
+// Lookup is the fused hot-path entry point: Probe + CountAccess +
+// Touch in one pass over the set, with a single index computation and
+// line dereference. It allocates nothing (the cache benchmarks assert
+// 0 allocs/op) — this is the call the hierarchy makes for every L1
+// access. On a miss only the access/miss counters are updated; the
+// caller decides whether to Fill.
+func (c *Cache) Lookup(addr uint64, write bool, dom trace.Domain, now uint64) (set, way int, hit bool) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.stats.Accesses[dom]++
+	if c.allOn {
+		tags := c.tags[base : base+c.ways]
+		for w := range tags {
+			if tags[w] == tag {
+				if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+					c.stats.Hits[dom]++
+					// The dominant case — a read hit under LRU — is
+					// touchLine's fast path written out by hand; the
+					// combined function is over the inlining budget and
+					// this is the call made for every L1 hit.
+					if c.policy == LRU && !write {
+						c.seq++
+						ln.lruSeq = c.seq
+						ln.meta.LastTouch = now
+						ln.meta.RefreshCount = 0
+					} else {
+						c.touchLine(ln, set, w, write, dom, now)
+					}
+					return set, w, true
+				}
+			}
+		}
+		c.stats.Misses[dom]++
+		return set, -1, false
+	}
+	for m := c.enabledMask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+				c.stats.Hits[dom]++
+				if c.policy == LRU && !write {
+					c.seq++
+					ln.lruSeq = c.seq
+					ln.meta.LastTouch = now
+					ln.meta.RefreshCount = 0
+				} else {
+					c.touchLine(ln, set, w, write, dom, now)
+				}
+				return set, w, true
+			}
+		}
+	}
+	c.stats.Misses[dom]++
+	return set, -1, false
+}
+
 // Touch performs the hit-path bookkeeping for a line found by Probe:
 // replacement-state update, dirty marking and write-interval stats.
 // The caller is responsible for counting the access via CountAccess.
 func (c *Cache) Touch(set, way int, write bool, dom trace.Domain, now uint64) {
-	ln := c.line(set, way)
+	c.touchLine(c.line(set, way), set, way, write, dom, now)
+}
+
+func (c *Cache) touchLine(ln *line, set, way int, write bool, dom trace.Domain, now uint64) {
 	c.seq++
 	switch c.policy {
 	case LRU, FIFO: // FIFO does not update on hit
@@ -430,6 +532,7 @@ func (c *Cache) Fill(addr uint64, write bool, dom trace.Domain, now uint64) Resu
 	}
 
 	c.seq++
+	c.tags[set*c.ways+way] = tag
 	*ln = line{
 		valid:  true,
 		tag:    tag,
@@ -473,27 +576,37 @@ func (c *Cache) victim(set int, allowed uint64) int {
 	if allowed == 0 {
 		panic(fmt.Sprintf("cache %s: victim search with empty way mask", c.cfg.Name))
 	}
-	// Prefer an invalid allowed way.
-	for w := 0; w < c.cfg.Ways; w++ {
-		if allowed&(1<<uint(w)) == 0 {
-			continue
-		}
-		if !c.line(set, w).valid {
-			return w
-		}
-	}
+	base := set * c.ways
 	switch c.policy {
 	case LRU, FIFO:
+		// The LRU scan must read every allowed line anyway, so the
+		// prefer-an-invalid-way rule folds into the same pass: the first
+		// invalid allowed way wins immediately, matching the standalone
+		// invalid scan's lowest-index choice.
+		lns := c.lines[base : base+c.ways]
 		best, bestSeq := -1, ^uint64(0)
-		for w := 0; w < c.cfg.Ways; w++ {
+		for w := range lns {
 			if allowed&(1<<uint(w)) == 0 {
 				continue
 			}
-			if s := c.line(set, w).lruSeq; s < bestSeq {
+			if !lns[w].valid {
+				return w
+			}
+			if s := lns[w].lruSeq; s < bestSeq {
 				best, bestSeq = w, s
 			}
 		}
 		return best
+	}
+	// Prefer an invalid allowed way; the tags sidecar holds invalidTag
+	// exactly for invalid lines, so this scan stays off the line structs.
+	for m := allowed; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == invalidTag && !c.lines[base+w].valid {
+			return w
+		}
+	}
+	switch c.policy {
 	case Random:
 		// Deterministic pseudo-random pick: hash the sequence counter.
 		n := bits.OnesCount64(allowed)
@@ -545,13 +658,11 @@ func (c *Cache) victim(set int, allowed uint64) int {
 	panic("cache: victim selection failed") // unreachable for valid policies
 }
 
-// Access is the convenience combination Probe+Touch / Fill used by
-// SRAM caches (no retention checks).
+// Access is the convenience combination Lookup / Fill used by SRAM
+// caches (no retention checks).
 func (c *Cache) Access(addr uint64, write bool, dom trace.Domain, now uint64) Result {
-	set, way, hit := c.Probe(addr)
-	c.CountAccess(dom, hit)
+	set, way, hit := c.Lookup(addr, write, dom, now)
 	if hit {
-		c.Touch(set, way, write, dom, now)
 		return Result{Hit: true, Set: set, Way: way}
 	}
 	return c.Fill(addr, write, dom, now)
@@ -570,6 +681,7 @@ func (c *Cache) Invalidate(set, way int, now uint64, evict bool) (dirty bool, ad
 		c.recordEviction(ln, now, false)
 	}
 	ln.valid = false
+	c.tags[set*c.ways+way] = invalidTag
 	return dirty, addr, true
 }
 
@@ -631,6 +743,7 @@ func (c *Cache) FlushWays(mask uint64, now uint64, wb func(addr uint64)) int {
 				c.stats.Writebacks++
 			}
 			ln.valid = false
+			c.tags[set*c.ways+w] = invalidTag
 			flushed++
 		}
 	}

@@ -132,6 +132,35 @@ type Machine struct {
 	DRAM DRAM `json:"dram"`
 }
 
+// Clone returns a deep copy of the machine: the pointed-to segment and
+// controller structs are duplicated, so mutating the clone (as the
+// ablation experiments do) can never leak into the original. This is
+// what lets sim.StandardMachines memoize its configs safely.
+func (m Machine) Clone() Machine {
+	out := m
+	if m.Unified != nil {
+		seg := *m.Unified
+		out.Unified = &seg
+	}
+	if m.User != nil {
+		seg := *m.User
+		out.User = &seg
+	}
+	if m.Kernel != nil {
+		seg := *m.Kernel
+		out.Kernel = &seg
+	}
+	if m.Dynamic != nil {
+		d := *m.Dynamic
+		out.Dynamic = &d
+	}
+	if m.Drowsy != nil {
+		d := *m.Drowsy
+		out.Drowsy = &d
+	}
+	return out
+}
+
 // Default returns the baseline machine the paper's comparisons are
 // normalized to: 1MB 16-way SRAM unified L2.
 func Default() Machine {

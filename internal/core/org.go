@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mobilecache/internal/cache"
 	"mobilecache/internal/energy"
@@ -193,6 +194,16 @@ type segment struct {
 	// writes translate into real stall cycles. One entry per bank,
 	// indexed by block address.
 	busyUntil []uint64
+
+	// Access-path constants hoisted out of the hot loop: meter params
+	// are immutable after construction, block size is a power of two,
+	// and an unbounded-retention (SRAM) controller never expires lines.
+	readCycles  uint64
+	writeCycles uint64
+	blockShift  uint
+	bankMask    uint64 // len(busyUntil)-1 when a power of two
+	bankPow2    bool
+	volatile    bool // ctrl.CanExpire()
 }
 
 func newSegment(cfg SegmentConfig, wb func(addr uint64)) (*segment, error) {
@@ -222,25 +233,44 @@ func newSegment(cfg SegmentConfig, wb func(addr uint64)) (*segment, error) {
 	if banks <= 0 {
 		banks = 1
 	}
-	return &segment{cfg: cfg, c: c, meter: meter, ctrl: ctrl, wb: wb, busyUntil: make([]uint64, banks)}, nil
+	s := &segment{cfg: cfg, c: c, meter: meter, ctrl: ctrl, wb: wb, busyUntil: make([]uint64, banks)}
+	p := meter.Params()
+	s.readCycles, s.writeCycles = p.ReadCycles, p.WriteCycles
+	s.blockShift = uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	s.bankPow2 = banks&(banks-1) == 0
+	s.bankMask = uint64(banks - 1)
+	s.volatile = ctrl.CanExpire()
+	return s, nil
 }
 
 // bankOf maps a block address to its bank.
 func (s *segment) bankOf(blockAddr uint64) int {
+	if s.bankPow2 {
+		return int((blockAddr >> s.blockShift) & s.bankMask)
+	}
 	return int((blockAddr / uint64(s.cfg.BlockBytes)) % uint64(len(s.busyUntil)))
 }
 
 // access runs the full probe/expiry/touch/fill sequence on the bank.
 func (s *segment) access(blockAddr uint64, write bool, dom trace.Domain, now uint64) (hit bool, latency uint64) {
-	s.ctrl.Tick(now)
-	p := s.meter.Params()
-
-	set, way, hit := s.c.Probe(blockAddr)
-	if hit && s.ctrl.Expired(set, way, now) {
-		s.ctrl.HandleExpired(set, way, now)
-		hit = false
+	var set, way int
+	if s.volatile {
+		s.ctrl.Tick(now)
+		set, way, hit = s.c.Probe(blockAddr)
+		if hit && s.ctrl.Expired(set, way, now) {
+			s.ctrl.HandleExpired(set, way, now)
+			hit = false
+		}
+		s.c.CountAccess(dom, hit)
+		if hit {
+			s.c.Touch(set, way, write, dom, now)
+		}
+	} else {
+		// Non-volatile arrays (SRAM) can never expire a line between the
+		// probe and the touch, so the fused lookup — identical counter
+		// and replacement-state effects — replaces the split sequence.
+		set, way, hit = s.c.Lookup(blockAddr, write, dom, now)
 	}
-	s.c.CountAccess(dom, hit)
 
 	bank := s.bankOf(blockAddr)
 	start := now
@@ -249,10 +279,9 @@ func (s *segment) access(blockAddr uint64, write bool, dom trace.Domain, now uin
 	}
 
 	if hit {
-		s.c.Touch(set, way, write, dom, now)
-		lat := p.ReadCycles
+		lat := s.readCycles
 		if write {
-			lat = p.WriteCycles
+			lat = s.writeCycles
 			s.meter.Write(1)
 		} else {
 			s.meter.Read(1)
@@ -274,8 +303,8 @@ func (s *segment) access(blockAddr uint64, write bool, dom trace.Domain, now uin
 	}
 	// The demand path pays the probe; the fill write occupies the bank
 	// afterwards but is off the critical path.
-	s.busyUntil[bank] = start + p.ReadCycles + p.WriteCycles
-	return false, (start + p.ReadCycles) - now
+	s.busyUntil[bank] = start + s.readCycles + s.writeCycles
+	return false, (start + s.readCycles) - now
 }
 
 func (s *segment) advance(now uint64) {

@@ -82,11 +82,16 @@ func (r Result) StallFraction() float64 {
 	return float64(r.StallCycles) / float64(r.Cycles)
 }
 
+// stepBatchLen is how many records Run stages per stepBatch call; big
+// enough to amortize batch setup, small enough to stay L1-resident.
+const stepBatchLen = 256
+
 // CPU binds a config to a hierarchy.
 type CPU struct {
 	cfg  Config
 	hier *mem.Hierarchy
 	now  uint64
+	buf  []trace.Access
 }
 
 // New builds a CPU over the hierarchy.
@@ -100,7 +105,7 @@ func New(cfg Config, hier *mem.Hierarchy) (*CPU, error) {
 	if cfg.AdvanceEvery == 0 {
 		cfg.AdvanceEvery = DefaultConfig().AdvanceEvery
 	}
-	return &CPU{cfg: cfg, hier: hier}, nil
+	return &CPU{cfg: cfg, hier: hier, buf: make([]trace.Access, stepBatchLen)}, nil
 }
 
 // Now reports the current simulated cycle.
@@ -109,44 +114,153 @@ func (c *CPU) Now() uint64 { return c.now }
 // Run replays up to maxAccesses records from src (0 = until the source
 // ends) and returns the timing result. Run may be called repeatedly;
 // time continues from where the previous call stopped.
+//
+// Replay cursors take devirtualized fast paths: a trace.SliceCursor
+// (hot-tier decoded replay) is stepped over zero-copy batches of its
+// records, and a trace.Cursor (packed replay) is bulk-decoded into the
+// staging buffer — in both cases the per-access interface round-trip
+// through Source.Next disappears, which is what keeps steady-state
+// replay at zero allocations and full speed. All paths execute the
+// identical per-access step, so results never depend on the source's
+// type.
 func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 	var res Result
-	for {
-		if maxAccesses > 0 && res.Accesses >= maxAccesses {
-			break
+	st := stepState{
+		// Countdown counters replace per-access modulo checks against
+		// IdleEvery/AdvanceEvery; a zero idleLeft start disables idling
+		// (the counter never moves). AdvanceEvery is always positive
+		// after New.
+		idleLeft: c.cfg.IdleEvery,
+		advLeft:  c.cfg.AdvanceEvery,
+		// uint64(float64(instr) * 1.0) is exact for any Gap-sized count,
+		// so a unit CPI — every standard config — can skip the float
+		// round-trip without changing a single cycle.
+		unitCPI: c.cfg.BaseCPI == 1.0,
+	}
+	if cur, ok := src.(*trace.SliceCursor); ok {
+		// Hot-tier replay: the records already exist in memory, so the
+		// machine steps directly over shared sub-slices of them — no
+		// decode, no staging copy.
+		for {
+			want := cur.Remaining()
+			if maxAccesses != 0 {
+				if left := maxAccesses - res.Accesses; left < uint64(want) {
+					want = int(left)
+				}
+			}
+			b := cur.Batch(want)
+			if len(b) == 0 {
+				break
+			}
+			c.stepBatch(b, &res, &st)
 		}
-		a, ok := src.Next()
-		if !ok {
-			break
+		c.hier.Advance(c.now)
+		return res
+	}
+	if cur, ok := src.(*trace.Cursor); ok {
+		for maxAccesses == 0 || res.Accesses < maxAccesses {
+			want := len(c.buf)
+			if maxAccesses != 0 {
+				if left := maxAccesses - res.Accesses; left < uint64(want) {
+					want = int(left)
+				}
+			}
+			n := cur.Decode(c.buf[:want])
+			if n == 0 {
+				break
+			}
+			c.stepBatch(c.buf[:n], &res, &st)
 		}
-		res.Accesses++
-
-		instr := a.Instructions()
-		busy := uint64(float64(instr) * c.cfg.BaseCPI)
-		if busy == 0 {
-			busy = 1
-		}
-		c.now += busy
-		stall := c.hier.Access(a, c.now)
-		c.now += stall
-
-		res.Instructions += instr
-		res.Cycles += busy + stall
-		res.StallCycles += stall
-		res.CyclesByDomain[a.Domain] += busy + stall
-
-		if c.cfg.IdleEvery > 0 && res.Accesses%c.cfg.IdleEvery == 0 {
-			c.now += c.cfg.IdleCycles
-			res.IdleCycles += c.cfg.IdleCycles
-			// Let retention controllers and leakage meters observe the
-			// idle stretch immediately.
-			c.hier.Advance(c.now)
-		}
-
-		if res.Accesses%c.cfg.AdvanceEvery == 0 {
-			c.hier.Advance(c.now)
+	} else {
+		for maxAccesses == 0 || res.Accesses < maxAccesses {
+			want := len(c.buf)
+			if maxAccesses != 0 {
+				if left := maxAccesses - res.Accesses; left < uint64(want) {
+					want = int(left)
+				}
+			}
+			n := 0
+			for n < want {
+				a, ok := src.Next()
+				if !ok {
+					break
+				}
+				c.buf[n] = a
+				n++
+			}
+			if n == 0 {
+				break
+			}
+			c.stepBatch(c.buf[:n], &res, &st)
 		}
 	}
 	c.hier.Advance(c.now)
 	return res
+}
+
+// stepState is the per-Run hot-loop state.
+type stepState struct {
+	idleLeft, advLeft uint64
+	unitCPI           bool
+}
+
+// stepBatch charges a staged batch of trace records: base cycles for
+// each record's instructions, hierarchy stalls, and the periodic
+// idle/leakage clock synchronization. Working totals stay in locals
+// across the batch — the per-access cost is the hierarchy access plus
+// pure register arithmetic — and fold into res at the end. Both Run
+// loops charge every record through here, so results can never depend
+// on the source's type.
+func (c *CPU) stepBatch(batch []trace.Access, res *Result, st *stepState) {
+	now := c.now
+	hier := c.hier
+	idleLeft, advLeft := st.idleLeft, st.advLeft
+	var instrs, cycles, stalls uint64
+	var byDomain [trace.NumDomains]uint64
+
+	for _, a := range batch {
+		instr := a.Instructions()
+		var busy uint64
+		if st.unitCPI {
+			busy = instr
+		} else {
+			busy = uint64(float64(instr) * c.cfg.BaseCPI)
+		}
+		if busy == 0 {
+			busy = 1
+		}
+		now += busy
+		stall := hier.Access(a, now)
+		now += stall
+
+		instrs += instr
+		cycles += busy + stall
+		stalls += stall
+		byDomain[a.Domain] += busy + stall
+
+		if idleLeft > 0 {
+			if idleLeft--; idleLeft == 0 {
+				idleLeft = c.cfg.IdleEvery
+				now += c.cfg.IdleCycles
+				res.IdleCycles += c.cfg.IdleCycles
+				// Let retention controllers and leakage meters observe
+				// the idle stretch immediately.
+				hier.Advance(now)
+			}
+		}
+		if advLeft--; advLeft == 0 {
+			advLeft = c.cfg.AdvanceEvery
+			hier.Advance(now)
+		}
+	}
+
+	c.now = now
+	st.idleLeft, st.advLeft = idleLeft, advLeft
+	res.Accesses += uint64(len(batch))
+	res.Instructions += instrs
+	res.Cycles += cycles
+	res.StallCycles += stalls
+	for d, v := range byDomain {
+		res.CyclesByDomain[d] += v
+	}
 }

@@ -176,6 +176,14 @@ type Meter struct {
 	params    Params
 	sizeBytes uint64
 
+	// Dynamic energy is derived from event counts on demand (one
+	// integer add per access instead of a float multiply-accumulate on
+	// the hot path); only leakage, whose rate varies with the powered
+	// fraction, integrates into bd as time advances.
+	reads     uint64
+	writes    uint64
+	refreshes uint64
+
 	bd        Breakdown
 	lastCycle uint64
 	powered   float64 // powered fraction of capacity in [0,1]
@@ -195,16 +203,14 @@ func (m *Meter) SizeBytes() uint64 { return m.sizeBytes }
 const pj = 1e-12
 
 // Read charges n block reads.
-func (m *Meter) Read(n uint64) { m.bd.ReadJ += float64(n) * m.params.ReadPJ * pj }
+func (m *Meter) Read(n uint64) { m.reads += n }
 
 // Write charges n block writes.
-func (m *Meter) Write(n uint64) { m.bd.WriteJ += float64(n) * m.params.WritePJ * pj }
+func (m *Meter) Write(n uint64) { m.writes += n }
 
 // Refresh charges n line refreshes; a refresh is a read plus a write
 // of the line, accounted in the refresh bucket.
-func (m *Meter) Refresh(n uint64) {
-	m.bd.RefreshJ += float64(n) * (m.params.ReadPJ + m.params.WritePJ) * pj
-}
+func (m *Meter) Refresh(n uint64) { m.refreshes += n }
 
 // Advance integrates leakage up to cycle now at the current powered
 // fraction. Calls must use non-decreasing now values.
@@ -236,4 +242,10 @@ func (m *Meter) PoweredFraction() float64 { return m.powered }
 
 // Breakdown returns the energy account so far (leakage up to the last
 // Advance).
-func (m *Meter) Breakdown() Breakdown { return m.bd }
+func (m *Meter) Breakdown() Breakdown {
+	bd := m.bd
+	bd.ReadJ = float64(m.reads) * m.params.ReadPJ * pj
+	bd.WriteJ = float64(m.writes) * m.params.WritePJ * pj
+	bd.RefreshJ = float64(m.refreshes) * (m.params.ReadPJ + m.params.WritePJ) * pj
+	return bd
+}

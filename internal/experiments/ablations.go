@@ -82,7 +82,7 @@ func runE13(opts Options) (Result, error) {
 	for _, pol := range policies {
 		base := config.Default()
 		base.Unified.Policy = pol
-		bRep, err := sim.RunWorkload(base, app, appSeed(opts.Seed, 0), opts.Accesses)
+		bRep, err := runWorkload(opts, base, app, appSeed(opts.Seed, 0))
 		if err != nil {
 			return res, err
 		}
@@ -92,7 +92,7 @@ func runE13(opts Options) (Result, error) {
 		}
 		spCfg.User.Policy = pol
 		spCfg.Kernel.Policy = pol
-		sRep, err := sim.RunWorkload(spCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+		sRep, err := runWorkload(opts, spCfg, app, appSeed(opts.Seed, 0))
 		if err != nil {
 			return res, err
 		}
@@ -121,7 +121,7 @@ func runE14(opts Options) (Result, error) {
 		cfg := config.Default()
 		cfg.Name = fmt.Sprintf("sram-%dk", kb)
 		cfg.Unified.SizeKB = kb
-		rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+		rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 		if err != nil {
 			return res, err
 		}
@@ -166,7 +166,7 @@ func runE16(opts Options) (Result, error) {
 			return res, err
 		}
 		baseCfg.DRAM.Policy = dramPolicy
-		base, err := sim.RunWorkload(baseCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+		base, err := runWorkload(opts, baseCfg, app, appSeed(opts.Seed, 0))
 		if err != nil {
 			return res, err
 		}
@@ -176,7 +176,7 @@ func runE16(opts Options) (Result, error) {
 				return res, err
 			}
 			cfg.DRAM.Policy = dramPolicy
-			rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+			rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 			if err != nil {
 				return res, err
 			}
@@ -218,7 +218,7 @@ func runE17(opts Options) (Result, error) {
 			return res, err
 		}
 		baseCfg.Prefetch = pf
-		base, err := sim.RunWorkload(baseCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+		base, err := runWorkload(opts, baseCfg, app, appSeed(opts.Seed, 0))
 		if err != nil {
 			return res, err
 		}
@@ -233,7 +233,7 @@ func runE17(opts Options) (Result, error) {
 				return res, err
 			}
 			cfg.Prefetch = pf
-			rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+			rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 			if err != nil {
 				return res, err
 			}
@@ -280,7 +280,7 @@ func runE15(opts Options) (Result, error) {
 			}
 			cfg.IdleEvery = 1000
 			cfg.IdleCycles = idle
-			rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+			rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 			if err != nil {
 				return res, err
 			}

@@ -118,7 +118,7 @@ func runE12(opts Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	base, err := sim.RunWorkload(baseCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+	base, err := runWorkload(opts, baseCfg, app, appSeed(opts.Seed, 0))
 	if err != nil {
 		return res, err
 	}
@@ -135,7 +135,7 @@ func runE12(opts Options) (Result, error) {
 				return res, err
 			}
 			cfg.Dynamic = &config.Dynamic{EpochAccesses: ep, Slack: sl}
-			rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+			rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 			if err != nil {
 				return res, err
 			}

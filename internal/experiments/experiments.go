@@ -17,9 +17,11 @@ import (
 	"sort"
 	"sync"
 
+	"mobilecache/internal/config"
 	"mobilecache/internal/report"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
+	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -31,6 +33,31 @@ type Options struct {
 	Seed uint64
 	// Apps are the application profiles to evaluate.
 	Apps []workload.Profile
+	// TraceStore supplies memoized packed traces to every simulation in
+	// the run; nil selects the package-shared default store. Results are
+	// independent of the store (cached replay is bit-identical to
+	// generation) — it only removes redundant generator work.
+	TraceStore *tracestore.Store
+}
+
+// defaultTraceStore backs every experiment run that does not bring its
+// own store, so traces are shared across experiments within a process
+// (mcbench runs E1..T3 back to back over the same apps).
+var defaultTraceStore = tracestore.New(tracestore.DefaultBudgetBytes)
+
+// store resolves the effective trace store for the run.
+func (o Options) store() *tracestore.Store {
+	if o.TraceStore != nil {
+		return o.TraceStore
+	}
+	return defaultTraceStore
+}
+
+// runWorkload is the store-aware simulation entry every experiment
+// uses: identical results to sim.RunWorkload, minus the redundant
+// trace regeneration.
+func runWorkload(opts Options, cfg config.Machine, app workload.Profile, seed uint64) (sim.RunReport, error) {
+	return sim.RunWorkloadFrom(opts.store(), cfg, app, seed, opts.Accesses)
 }
 
 // DefaultOptions is the full-size configuration cmd/mcbench uses.
@@ -168,9 +195,12 @@ type cacheKey struct {
 	accesses int
 }
 
-// cachedRun runs a standard machine on an app, memoized.
-func cachedRun(machineName string, app workload.Profile, seed uint64, accesses int) (sim.RunReport, error) {
-	key := cacheKey{machineName, app.Name, seed, accesses}
+// cachedRun runs a standard machine on an app, memoized. The underlying
+// trace comes from the run's trace store, so even a cache miss only
+// pays replay, not regeneration, once any machine has simulated the
+// same (app, seed, accesses).
+func cachedRun(opts Options, machineName string, app workload.Profile, seed uint64) (sim.RunReport, error) {
+	key := cacheKey{machineName, app.Name, seed, opts.Accesses}
 	if v, ok := runCache.Load(key); ok {
 		return v.(sim.RunReport), nil
 	}
@@ -178,7 +208,7 @@ func cachedRun(machineName string, app workload.Profile, seed uint64, accesses i
 	if err != nil {
 		return sim.RunReport{}, err
 	}
-	rep, err := sim.RunWorkload(cfg, app, seed, accesses)
+	rep, err := runWorkload(opts, cfg, app, seed)
 	if err != nil {
 		return sim.RunReport{}, err
 	}
@@ -207,7 +237,7 @@ func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunR
 
 	outcomes, err := runner.Run(context.Background(), runner.Config{}, cells,
 		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
-			return cachedRun(c.Machine, profiles[c.App], c.Seed, opts.Accesses)
+			return cachedRun(opts, c.Machine, profiles[c.App], c.Seed)
 		})
 	if err != nil {
 		var re *runner.RunError

@@ -62,7 +62,7 @@ func runE21(opts Options) (Result, error) {
 			if err != nil {
 				return res, err
 			}
-			rep, err := sim.RunWorkload(cfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+			rep, err := runWorkload(opts, cfg, app, appSeed(opts.Seed, 0))
 			if err != nil {
 				return res, err
 			}

@@ -93,7 +93,7 @@ func runE20(opts Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	base, err := sim.RunWorkload(baseCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+	base, err := runWorkload(opts, baseCfg, app, appSeed(opts.Seed, 0))
 	if err != nil {
 		return res, err
 	}
@@ -103,7 +103,7 @@ func runE20(opts Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	spRep, err := sim.RunWorkload(spCfg, app, appSeed(opts.Seed, 0), opts.Accesses)
+	spRep, err := runWorkload(opts, spCfg, app, appSeed(opts.Seed, 0))
 	if err != nil {
 		return res, err
 	}

@@ -36,7 +36,7 @@ func runE1(opts Options) (Result, error) {
 		"app", "L2 accesses", "kernel share", "trace kernel share")
 	sum := 0.0
 	for i, app := range opts.Apps {
-		rep, err := sim.RunWorkload(config.Default(), app, appSeed(opts.Seed, i), opts.Accesses)
+		rep, err := runWorkload(opts, config.Default(), app, appSeed(opts.Seed, i))
 		if err != nil {
 			return res, err
 		}
@@ -76,11 +76,11 @@ func runE2(opts Options) (Result, error) {
 	var missDeltaSum, interfSum float64
 	for i, app := range opts.Apps {
 		seed := appSeed(opts.Seed, i)
-		shared, err := sim.RunWorkload(config.Default(), app, seed, opts.Accesses)
+		shared, err := runWorkload(opts, config.Default(), app, seed)
 		if err != nil {
 			return res, err
 		}
-		isolated, err := sim.RunWorkload(iso, app, seed, opts.Accesses)
+		isolated, err := runWorkload(opts, iso, app, seed)
 		if err != nil {
 			return res, err
 		}

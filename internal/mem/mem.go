@@ -270,10 +270,10 @@ func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
 	}
 	write := a.Op.IsWrite()
 
-	set, way, hit := l1.c.Probe(a.Addr)
-	l1.c.CountAccess(a.Domain, hit)
-	if hit {
-		l1.c.Touch(set, way, write, a.Domain, now)
+	// Fused allocation-free lookup: probe, access counting and hit-path
+	// touch in one call — the dominant case (L1 hit) touches the cache
+	// exactly once.
+	if _, _, hit := l1.c.Lookup(a.Addr, write, a.Domain, now); hit {
 		if write {
 			l1.meter.Write(1)
 		} else {
@@ -285,7 +285,9 @@ func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
 	// L1 miss: demand-read the block from L2.
 	l1.meter.Read(1) // tag probe
 	blockAddr := l1.c.BlockAddr(a.Addr)
-	h.tap(blockAddr, a.PC, false, a.Domain)
+	if h.L2Tap != nil {
+		h.tap(blockAddr, a.PC, false, a.Domain)
+	}
 	l2hit, l2lat := h.L2.Access(blockAddr, false, a.Domain, now)
 	stall := l2lat
 	if !l2hit {
@@ -297,7 +299,9 @@ func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
 	l1.meter.Write(1)
 	if res.Evicted && res.EvictedDirty {
 		l1.meter.Read(1) // victim readout
-		h.tap(res.EvictedAddr, a.PC, true, res.EvictedDomain)
+		if h.L2Tap != nil {
+			h.tap(res.EvictedAddr, a.PC, true, res.EvictedDomain)
+		}
 		h.L2.Access(res.EvictedAddr, true, res.EvictedDomain, now)
 	}
 

@@ -13,12 +13,14 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"mobilecache/internal/config"
 	"mobilecache/internal/core"
 	"mobilecache/internal/cpu"
 	"mobilecache/internal/mem"
 	"mobilecache/internal/trace"
+	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -185,21 +187,43 @@ func RunWorkload(cfg config.Machine, prof workload.Profile, seed uint64, accesse
 	if err != nil {
 		return RunReport{}, err
 	}
-	phaseLen := uint64(0)
-	if prof.Phases > 1 && accesses > 0 {
-		phaseLen = uint64(accesses / prof.Phases)
-	}
-	gen, err := workload.NewGenerator(prof, seed, phaseLen)
+	gen, err := workload.NewGenerator(prof, seed, workload.PhaseLen(prof, accesses))
 	if err != nil {
 		return RunReport{}, err
 	}
 	return RunTrace(m, prof.Name, trace.NewLimitSource(gen, accesses), 0), nil
 }
 
-// StandardMachines returns the six schemes of the paper's evaluation.
-// The static segment sizes follow the paper's shrink: the partition
-// totals 768KB against the 1MB baseline.
-func StandardMachines() []config.Machine {
+// RunWorkloadFrom is the store-aware variant of RunWorkload: the app's
+// trace comes from the shared trace arena (generated once per
+// (profile, seed, accesses) across every machine that replays it) and
+// is replayed zero-copy from the arena's hot tier, or through a
+// zero-allocation packed cursor once the budget has demoted it. A nil
+// store falls back to generator-driven RunWorkload. Reports are
+// identical to RunWorkload's for equal inputs — the arena caches the
+// byte-identical stream.
+func RunWorkloadFrom(store *tracestore.Store, cfg config.Machine, prof workload.Profile, seed uint64, accesses int) (RunReport, error) {
+	if store == nil {
+		return RunWorkload(cfg, prof, seed, accesses)
+	}
+	if err := chaosEnter(cfg.Name, prof.Name, seed); err != nil {
+		return RunReport{}, err
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		return RunReport{}, err
+	}
+	tr, err := store.GetTrace(prof, seed, accesses)
+	if err != nil {
+		return RunReport{}, err
+	}
+	return RunTrace(m, prof.Name, tr.Cursor(), 0), nil
+}
+
+// buildStandardMachines constructs the seven schemes of the paper's
+// evaluation. The static segment sizes follow the paper's shrink: the
+// partition totals 768KB against the 1MB baseline.
+func buildStandardMachines() []config.Machine {
 	base := config.Default() // baseline-sram
 
 	baseSTT := config.Default()
@@ -257,22 +281,53 @@ func StandardMachines() []config.Machine {
 	return []config.Machine{base, baseSTT, drowsy, sp, spmr, dp, dpsr}
 }
 
-// MachineByName finds one of the standard machines.
-func MachineByName(name string) (config.Machine, error) {
-	for _, m := range StandardMachines() {
-		if m.Name == name {
-			return m, nil
+// standard memoizes the built configs: name lookups used to rebuild
+// all seven machines per call, which showed up in sweep profiles.
+// Callers only ever see deep copies (config.Machine holds pointers, and
+// the ablation experiments mutate what they get back), so the memo can
+// never be corrupted.
+var standard struct {
+	once     sync.Once
+	machines []config.Machine
+	names    []string
+	index    map[string]int
+}
+
+func standardInit() {
+	standard.once.Do(func() {
+		standard.machines = buildStandardMachines()
+		standard.names = make([]string, len(standard.machines))
+		standard.index = make(map[string]int, len(standard.machines))
+		for i, m := range standard.machines {
+			standard.names[i] = m.Name
+			standard.index[m.Name] = i
 		}
+	})
+}
+
+// StandardMachines returns the seven schemes of the paper's evaluation
+// as independent copies of the memoized configs.
+func StandardMachines() []config.Machine {
+	standardInit()
+	out := make([]config.Machine, len(standard.machines))
+	for i, m := range standard.machines {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// MachineByName finds one of the standard machines, returning a copy
+// the caller may freely mutate.
+func MachineByName(name string) (config.Machine, error) {
+	standardInit()
+	if i, ok := standard.index[name]; ok {
+		return standard.machines[i].Clone(), nil
 	}
 	return config.Machine{}, fmt.Errorf("sim: unknown standard machine %q", name)
 }
 
 // StandardMachineNames lists the standard machine names in order.
 func StandardMachineNames() []string {
-	ms := StandardMachines()
-	names := make([]string, len(ms))
-	for i, m := range ms {
-		names[i] = m.Name
-	}
-	return names
+	standardInit()
+	return append([]string(nil), standard.names...)
 }

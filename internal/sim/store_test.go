@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mobilecache/internal/tracestore"
+	"mobilecache/internal/workload"
+)
+
+// TestStoreReplayMatchesGenerator is the arena's correctness contract:
+// replaying a cached packed trace through every standard machine yields
+// a RunReport identical — CPU result, L2 stats, energy buckets, DRAM
+// traffic, partition history — to the generator-driven RunWorkload for
+// the same (profile, seed, accesses).
+func TestStoreReplayMatchesGenerator(t *testing.T) {
+	store := tracestore.New(0)
+	// A phased standard profile exercises the phase-length derivation;
+	// use full multi-phase behaviour and both domains.
+	prof := workload.Profiles()[0]
+	const seed, accesses = 11, 60_000
+
+	for _, name := range StandardMachineNames() {
+		cfg, err := MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunWorkload(cfg, prof, seed, accesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunWorkloadFrom(store, cfg, prof, seed, accesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: cached replay diverges from generator run:\n generator: %+v\n cached:    %+v", name, want, got)
+		}
+	}
+	st := store.Stats()
+	if st.Generated != 1 {
+		t.Fatalf("store generated %d traces for one (profile, seed); want 1", st.Generated)
+	}
+	if st.Hits != uint64(len(StandardMachineNames())-1) {
+		t.Fatalf("store hits = %d, want %d", st.Hits, len(StandardMachineNames())-1)
+	}
+}
+
+// TestStoreDemotedReplayMatchesGenerator covers the packed tier: with a
+// budget too small to hold any hot decoded form, every replay goes
+// through the packed decoding cursor and must still reproduce the
+// generator-driven reports exactly.
+func TestStoreDemotedReplayMatchesGenerator(t *testing.T) {
+	store := tracestore.New(1) // demotes every trace to packed-only
+	prof := workload.Profiles()[1]
+	const seed, accesses = 13, 40_000
+
+	for _, name := range []string{"baseline-sram", "sp-mr", "dp-sr"} {
+		cfg, err := MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunWorkload(cfg, prof, seed, accesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunWorkloadFrom(store, cfg, prof, seed, accesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: demoted packed replay diverges from generator run", name)
+		}
+	}
+	if st := store.Stats(); st.Demotions == 0 {
+		t.Fatalf("expected demotions under a 1-byte budget, got %+v", st)
+	}
+}
+
+// TestStoreWarmReplayMatchesGenerator covers the warmup+measure path.
+func TestStoreWarmReplayMatchesGenerator(t *testing.T) {
+	store := tracestore.New(0)
+	prof := workload.Profiles()[0]
+	cfg, err := MachineByName("sp-mr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunWarmWorkload(cfg, prof, 5, 20_000, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWarmWorkloadFrom(store, cfg, prof, 5, 20_000, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("warm cached replay diverges:\n generator: %+v\n cached:    %+v", want, got)
+	}
+}
+
+// TestRunWorkloadFromNilStore: a nil store must behave exactly like
+// RunWorkload.
+func TestRunWorkloadFromNilStore(t *testing.T) {
+	cfg, err := MachineByName("baseline-sram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunWorkloadFrom(nil, cfg, smallProfile(), 3, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU.Accesses != 10_000 {
+		t.Fatalf("nil-store run replayed %d accesses", rep.CPU.Accesses)
+	}
+}
+
+// TestStandardMachinesMemoizedCopies: lookups return independent deep
+// copies, so mutations through the returned pointers can never corrupt
+// the memoized configs.
+func TestStandardMachinesMemoizedCopies(t *testing.T) {
+	a, err := MachineByName("sp-mr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.User.Tech = "sram"
+	a.Kernel.SizeKB = 1
+
+	b, err := MachineByName("sp-mr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.User.Tech != "stt-medium" || b.Kernel.SizeKB != 256 {
+		t.Fatalf("mutation through a returned config leaked into the memo: %+v %+v", b.User, b.Kernel)
+	}
+
+	ms := StandardMachines()
+	ms[0].Unified.SizeKB = 7
+	ms2 := StandardMachines()
+	if ms2[0].Unified.SizeKB == 7 {
+		t.Fatal("StandardMachines slices share segment pointers")
+	}
+	if len(ms2) != 7 {
+		t.Fatalf("StandardMachines returned %d machines, want 7", len(ms2))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mobilecache/internal/energy"
 	"mobilecache/internal/mem"
 	"mobilecache/internal/trace"
+	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -59,7 +60,11 @@ func subL2Stats(a, b core.L2Stats) core.L2Stats {
 // History (for dynamic designs) is trimmed to decisions taken during
 // measurement.
 func RunWarm(m *Machine, name string, src trace.Source, warmupAccesses, measureAccesses uint64) RunReport {
-	m.CPU.Run(trace.NewLimitSource(src, int(warmupAccesses)), warmupAccesses)
+	if warmupAccesses > 0 {
+		// Run bounds itself by the access count; skipping the LimitSource
+		// wrapper keeps packed-cursor sources on their fast path.
+		m.CPU.Run(src, warmupAccesses)
+	}
 	m.Hier.Advance(m.CPU.Now())
 
 	before := RunReport{
@@ -110,14 +115,33 @@ func RunWarmWorkload(cfg config.Machine, prof workload.Profile, seed uint64, war
 		return RunReport{}, err
 	}
 	total := warmup + measure
-	phaseLen := uint64(0)
-	if prof.Phases > 1 && total > 0 {
-		phaseLen = uint64(total / prof.Phases)
-	}
-	gen, err := workload.NewGenerator(prof, seed, phaseLen)
+	gen, err := workload.NewGenerator(prof, seed, workload.PhaseLen(prof, total))
 	if err != nil {
 		return RunReport{}, err
 	}
 	src := trace.NewLimitSource(gen, total)
 	return RunWarm(m, prof.Name, src, uint64(warmup), uint64(measure)), nil
+}
+
+// RunWarmWorkloadFrom is the store-aware variant of RunWarmWorkload:
+// the warmup+measure stream comes from the shared trace arena and is
+// replayed through one stateful cursor (hot-tier zero-copy when
+// resident, packed otherwise). A nil store falls back to the
+// generator-driven path.
+func RunWarmWorkloadFrom(store *tracestore.Store, cfg config.Machine, prof workload.Profile, seed uint64, warmup, measure int) (RunReport, error) {
+	if store == nil {
+		return RunWarmWorkload(cfg, prof, seed, warmup, measure)
+	}
+	if err := chaosEnter(cfg.Name, prof.Name, seed); err != nil {
+		return RunReport{}, err
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		return RunReport{}, err
+	}
+	tr, err := store.GetTrace(prof, seed, warmup+measure)
+	if err != nil {
+		return RunReport{}, err
+	}
+	return RunWarm(m, prof.Name, tr.Cursor(), uint64(warmup), uint64(measure)), nil
 }

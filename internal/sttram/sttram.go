@@ -305,6 +305,12 @@ func (ct *Controller) Active() bool { return ct.retention > 0 }
 
 // Expired reports whether the line at (set, way) has outlived its
 // retention at time now. Inert controllers never report expiry.
+// CanExpire reports whether lines in this array can ever lose data —
+// false for unbounded-retention technologies (SRAM), where Tick and
+// Expired are no-ops. The access hot path uses this to skip the
+// per-access expiry bookkeeping entirely.
+func (ct *Controller) CanExpire() bool { return ct.retention != 0 }
+
 func (ct *Controller) Expired(set, way int, now uint64) bool {
 	if ct.retention == 0 {
 		return false

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// This file implements the packed trace arena format: an immutable,
+// struct-of-arrays in-memory representation of a materialized trace.
+// Access records compress well because consecutive records are highly
+// correlated — addresses and PCs move in small strides — so the arena
+// stores per-field byte streams instead of []Access:
+//
+//	addr   zigzag varint deltas from the previous record's address
+//	pc     zigzag varint deltas from the previous record's PC
+//	opdom  one byte per record: op in the low bits, domain above it
+//	gap    plain varints (gaps are small non-negative counts)
+//
+// A 40-byte Access typically packs into 4-7 bytes, so a 400k-access
+// trace costs ~2MB instead of ~16MB, and the sweep engine can keep many
+// (app, seed) traces resident (see internal/tracestore). Packed values
+// are immutable after construction; any number of Cursors may replay
+// one concurrently, and replay allocates nothing.
+
+// domShift positions the domain bits above the op bits in the packed
+// op+domain byte.
+const domShift = 2
+
+// Packed is an immutable packed trace. Build one with Pack or
+// PackSlice; replay it with Cursor.
+type Packed struct {
+	n     int
+	addr  []byte
+	pc    []byte
+	opdom []byte
+	gap   []byte
+}
+
+// Len reports the number of records in the trace.
+func (p *Packed) Len() int { return p.n }
+
+// SizeBytes reports the in-memory footprint of the packed streams —
+// the quantity the tracestore LRU budget accounts.
+func (p *Packed) SizeBytes() int64 {
+	return int64(cap(p.addr) + cap(p.pc) + cap(p.opdom) + cap(p.gap))
+}
+
+// zigzag maps a signed delta onto an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(x uint64) int64 { return int64(x>>1) ^ -int64(x&1) }
+
+// packer accumulates records into the packed streams.
+type packer struct {
+	p        Packed
+	prevAddr uint64
+	prevPC   uint64
+}
+
+func (pk *packer) append(a Access) {
+	pk.p.addr = appendUvarint(pk.p.addr, zigzag(int64(a.Addr-pk.prevAddr)))
+	pk.p.pc = appendUvarint(pk.p.pc, zigzag(int64(a.PC-pk.prevPC)))
+	pk.p.opdom = append(pk.p.opdom, byte(a.Op)|byte(a.Domain)<<domShift)
+	pk.p.gap = appendUvarint(pk.p.gap, uint64(a.Gap))
+	pk.prevAddr, pk.prevPC = a.Addr, a.PC
+	pk.p.n++
+}
+
+// appendUvarint is binary.AppendUvarint with the 1-3 byte cases — all
+// but a sliver of every stream — emitted as single fixed-size appends
+// instead of a byte-at-a-time loop.
+func appendUvarint(b []byte, v uint64) []byte {
+	switch {
+	case v < 1<<7:
+		return append(b, byte(v))
+	case v < 1<<14:
+		return append(b, byte(v)|0x80, byte(v>>7))
+	case v < 1<<21:
+		return append(b, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14))
+	default:
+		return binary.AppendUvarint(b, v)
+	}
+}
+
+// streamPad is the zero padding appended to each varint stream so the
+// word-at-a-time decoder in uvarintAt can always load 8 bytes from any
+// valid position without running off the end.
+const streamPad = 8
+
+// finish trims the streams to their final length (plus decoder padding)
+// so SizeBytes reflects what is actually retained.
+func (pk *packer) finish() *Packed {
+	p := pk.p
+	p.addr = padded(p.addr)
+	p.pc = padded(p.pc)
+	p.opdom = append([]byte(nil), p.opdom...)
+	p.gap = padded(p.gap)
+	return &p
+}
+
+func padded(s []byte) []byte {
+	out := make([]byte, len(s)+streamPad)
+	copy(out, s)
+	return out
+}
+
+// Pack drains src into a packed trace, stopping after max records
+// (max <= 0 means until the source ends — do not pass an unbounded
+// source then).
+func Pack(src Source, max int) *Packed {
+	var pk packer
+	if max > 0 {
+		// Typical stream densities (addresses stride by a few KB, PCs by
+		// less, gaps are small): sized so the append loop almost never
+		// regrows. finish trims whatever margin is left.
+		pk.p.addr = make([]byte, 0, 3*max)
+		pk.p.pc = make([]byte, 0, 3*max)
+		pk.p.opdom = make([]byte, 0, max)
+		pk.p.gap = make([]byte, 0, 2*max)
+	}
+	for max <= 0 || pk.p.n < max {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		pk.append(a)
+	}
+	return pk.finish()
+}
+
+// PackSlice packs an already-materialized record slice. It is the bulk
+// twin of Pack: the four stream slices and both delta predecessors live
+// in locals across the loop instead of round-tripping through packer
+// fields per record.
+func PackSlice(recs []Access) *Packed {
+	n := len(recs)
+	addr := make([]byte, 0, 3*n)
+	pc := make([]byte, 0, 3*n)
+	opdom := make([]byte, 0, n)
+	gap := make([]byte, 0, 2*n)
+	var prevAddr, prevPC uint64
+	for i := range recs {
+		a := &recs[i]
+		addr = appendUvarint(addr, zigzag(int64(a.Addr-prevAddr)))
+		pc = appendUvarint(pc, zigzag(int64(a.PC-prevPC)))
+		opdom = append(opdom, byte(a.Op)|byte(a.Domain)<<domShift)
+		gap = appendUvarint(gap, uint64(a.Gap))
+		prevAddr, prevPC = a.Addr, a.PC
+	}
+	return &Packed{
+		n:     n,
+		addr:  padded(addr),
+		pc:    padded(pc),
+		opdom: append([]byte(nil), opdom...),
+		gap:   padded(gap),
+	}
+}
+
+// Cursor is a zero-allocation replay position over a Packed trace. It
+// implements Source; cpu.Run recognizes the concrete type and replays
+// it without the per-access interface round-trip. The zero Cursor is
+// an exhausted empty trace; obtain live ones from Packed.Cursor.
+// Cursors are cheap values — take as many as needed; each replays the
+// whole trace independently.
+type Cursor struct {
+	p        *Packed
+	i        int
+	addrPos  int
+	pcPos    int
+	gapPos   int
+	prevAddr uint64
+	prevPC   uint64
+}
+
+// Cursor returns a fresh replay cursor positioned at the first record.
+func (p *Packed) Cursor() Cursor { return Cursor{p: p} }
+
+// Len reports the total number of records in the underlying trace.
+func (c *Cursor) Len() int {
+	if c.p == nil {
+		return 0
+	}
+	return c.p.n
+}
+
+// Remaining reports how many records are left to replay.
+func (c *Cursor) Remaining() int { return c.Len() - c.i }
+
+// Reset rewinds the cursor to the beginning of the trace.
+func (c *Cursor) Reset() {
+	p := c.p
+	*c = Cursor{p: p}
+}
+
+// uvarintAt decodes one unsigned varint of b starting at pos. It is the
+// hot-path twin of binary.Uvarint: the packer zero-pads every stream by
+// streamPad bytes (see finish), so a single 8-byte word load is always
+// in bounds, and varints of 2-8 bytes decode branchlessly from that
+// word in uvarintMulti — within a multi-byte varint, the exact length
+// varies record to record, so a length branch there would mispredict
+// constantly. The single-byte case is split out so it inlines at the
+// call sites in Decode: the gap and PC-delta streams are almost
+// entirely single-byte, so per stream the fast branch predicts
+// near-perfectly (and the addr stream, which is mostly multi-byte,
+// predicts the fall-through just as well) — the multi-byte call is only
+// paid where multi-byte data is.
+func uvarintAt(b []byte, pos int) (uint64, int) {
+	x := binary.LittleEndian.Uint64(b[pos:])
+	if x&0x80 == 0 {
+		return x & 0x7f, pos + 1
+	}
+	return uvarintMulti(x, b, pos)
+}
+
+func uvarintMulti(x uint64, b []byte, pos int) (uint64, int) {
+	// Bit position of the first clear continuation bit = 8*len-1.
+	stop := bits.TrailingZeros64(^x & 0x8080808080808080)
+	if stop == 64 {
+		return uvarintSlow(b, pos)
+	}
+	// Keep the varint's bytes, drop the continuation bits, then fold the
+	// 7-bit groups together (7+7 -> 14, 14+14 -> 28, 28+28 -> 56 bits).
+	x = x & (uint64(1)<<stop<<1 - 1) & 0x7f7f7f7f7f7f7f7f
+	x = x&0x007f007f007f007f | x>>1&0x3f803f803f803f80
+	x = x&0x00003fff00003fff | x>>2&0x0fffc0000fffc000
+	x = x&0x000000000fffffff | x>>4&0x00fffffff0000000
+	return x, pos + (stop >> 3) + 1
+}
+
+// uvarintSlow handles the rare 5+ byte varints (large first-record
+// deltas, mostly).
+func uvarintSlow(b []byte, pos int) (uint64, int) {
+	var x uint64
+	var s uint
+	for {
+		c := b[pos]
+		pos++
+		if c < 0x80 {
+			return x | uint64(c)<<s, pos
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+}
+
+// Decode fills dst with up to len(dst) records, advancing the cursor,
+// and reports how many it wrote (0 at end of trace). It is the bulk
+// twin of Next: cursor state stays in registers across the batch, so
+// per-record decode cost drops well below the one-at-a-time path.
+// Decode performs no allocation.
+func (c *Cursor) Decode(dst []Access) int {
+	p := c.p
+	if p == nil {
+		return 0
+	}
+	n := p.n - c.i
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	// All three varint streams decode in one loop: each stream's decode
+	// position forms a serial dependency chain (the next position is
+	// known only after the current length is), so interleaving the
+	// independent chains is what keeps the pipeline fed.
+	out := dst[:n]
+	addrS, pcS, gapS := p.addr, p.pc, p.gap
+	odS := p.opdom[c.i : c.i+n]
+	addrPos, pcPos, gapPos := c.addrPos, c.pcPos, c.gapPos
+	prevAddr, prevPC := c.prevAddr, c.prevPC
+	for k := range out {
+		// The single-byte varint checks are uvarintAt's fast path written
+		// out by hand: the combined function is just over the compiler's
+		// inlining budget, and a call per stream per record costs more
+		// than the decode itself on the mostly-single-byte streams.
+		var da, dp, gap uint64
+		if x := binary.LittleEndian.Uint64(addrS[addrPos:]); x&0x80 == 0 {
+			da = x & 0x7f
+			addrPos++
+		} else {
+			da, addrPos = uvarintMulti(x, addrS, addrPos)
+		}
+		if x := binary.LittleEndian.Uint64(pcS[pcPos:]); x&0x80 == 0 {
+			dp = x & 0x7f
+			pcPos++
+		} else {
+			dp, pcPos = uvarintMulti(x, pcS, pcPos)
+		}
+		if x := binary.LittleEndian.Uint64(gapS[gapPos:]); x&0x80 == 0 {
+			gap = x & 0x7f
+			gapPos++
+		} else {
+			gap, gapPos = uvarintMulti(x, gapS, gapPos)
+		}
+		od := odS[k]
+		prevAddr += uint64(unzigzag(da))
+		prevPC += uint64(unzigzag(dp))
+		out[k] = Access{
+			Addr:   prevAddr,
+			PC:     prevPC,
+			Gap:    uint32(gap),
+			Op:     Op(od & (1<<domShift - 1)),
+			Domain: Domain(od >> domShift),
+		}
+	}
+	c.addrPos, c.pcPos, c.gapPos = addrPos, pcPos, gapPos
+	c.prevAddr, c.prevPC = prevAddr, prevPC
+	c.i += n
+	return n
+}
+
+// Next decodes the next record. It performs no allocation.
+func (c *Cursor) Next() (Access, bool) {
+	if c.p == nil || c.i >= c.p.n {
+		return Access{}, false
+	}
+	da, addrPos := uvarintAt(c.p.addr, c.addrPos)
+	dp, pcPos := uvarintAt(c.p.pc, c.pcPos)
+	gap, gapPos := uvarintAt(c.p.gap, c.gapPos)
+	od := c.p.opdom[c.i]
+
+	c.prevAddr += uint64(unzigzag(da))
+	c.prevPC += uint64(unzigzag(dp))
+	a := Access{
+		Addr:   c.prevAddr,
+		PC:     c.prevPC,
+		Gap:    uint32(gap),
+		Op:     Op(od & (1<<domShift - 1)),
+		Domain: Domain(od >> domShift),
+	}
+	c.addrPos, c.pcPos, c.gapPos = addrPos, pcPos, gapPos
+	c.i++
+	return a, true
+}

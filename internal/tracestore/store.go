@@ -1,0 +1,327 @@
+// Package tracestore is the shared trace arena behind the sweep
+// engine: a memoizing store of packed, immutable workload traces keyed
+// by (profile, seed, phase length, accesses). Every experiment cell
+// (machine x app x seed) replays the byte-identical access stream, so
+// generating it once and handing out zero-allocation replay cursors
+// removes the dominant redundant work of a sweep — the seven standard
+// machines alone regenerate each trace seven times without it.
+//
+// The store deduplicates concurrent generation (N goroutines asking for
+// the same key trigger exactly one generator run; the rest wait) and
+// bounds its memory with an LRU byte budget, so sweeps over many
+// (app, seed) pairs degrade to regeneration instead of growing without
+// limit.
+//
+// Traces are held in two tiers. The hot tier is the materialized record
+// slice the generator produced, replayed zero-copy (trace.SliceCursor)
+// with no per-record decoding; the packed tier is the struct-of-arrays
+// compressed form, an order of magnitude smaller, replayed through a
+// zero-allocation decoding cursor. Under budget pressure the store
+// first demotes least-recently-used traces from hot to packed-only,
+// then evicts them entirely.
+package tracestore
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+// DefaultBudgetBytes is the default LRU capacity (256 MB across both
+// tiers — roughly a dozen full-scale app traces in hot decoded form,
+// or a hundred demoted to their packed streams).
+const DefaultBudgetBytes = 256 << 20
+
+// Key identifies one generated trace. Two cells with equal keys replay
+// byte-identical streams regardless of the machine under test.
+type Key struct {
+	// Profile is the workload profile name.
+	Profile string
+	// Seed drives the generator.
+	Seed uint64
+	// PhaseLen is the per-phase access count (see workload.PhaseLen).
+	PhaseLen uint64
+	// Accesses is the trace length.
+	Accesses int
+}
+
+// KeyFor derives the store key a full-trace run of prof uses, applying
+// the same phase-length rule as sim.RunWorkload.
+func KeyFor(prof workload.Profile, seed uint64, accesses int) Key {
+	return Key{
+		Profile:  prof.Name,
+		Seed:     seed,
+		PhaseLen: workload.PhaseLen(prof, accesses),
+		Accesses: accesses,
+	}
+}
+
+// Stats is a snapshot of the store's counters. A sweep surfaces these
+// in its run summary so cache effectiveness is visible.
+type Stats struct {
+	// Hits counts Gets served from memory, including callers that
+	// joined an in-flight generation instead of starting their own.
+	Hits uint64
+	// Misses counts Gets that had to start a generation.
+	Misses uint64
+	// Generated counts completed generations (misses minus failures).
+	Generated uint64
+	// Evictions counts traces dropped by the LRU budget.
+	Evictions uint64
+	// Demotions counts hot decoded forms dropped to fit the budget
+	// while their packed form stayed resident.
+	Demotions uint64
+	// BytesInUse and Entries describe the current resident set.
+	BytesInUse int64
+	Entries    int
+}
+
+// entry is one cached trace plus its singleflight state: ready is
+// closed once packed/err are final, and waiters block on it outside
+// the store lock.
+type entry struct {
+	key    Key
+	ready  chan struct{}
+	packed *trace.Packed
+	err    error
+
+	// decoded is the hot-tier form: the materialized record slice the
+	// generator produced, kept alongside the packed streams so replays
+	// can skip per-record decoding entirely. Under budget pressure the
+	// store demotes entries to packed-only (see evictOverBudget) by
+	// dropping this slice; demoted traces replay through a packed
+	// cursor instead. Readers treat the slice as immutable.
+	decoded      []trace.Access
+	decodedBytes int64
+
+	prev, next *entry // LRU list links; nil until generation completes
+	inList     bool
+}
+
+// sizeBytes is the entry's total charge against the LRU budget.
+func (e *entry) sizeBytes() int64 {
+	if e.packed == nil {
+		return 0
+	}
+	return e.packed.SizeBytes() + e.decodedBytes
+}
+
+// Store memoizes packed traces with singleflight generation and an LRU
+// byte budget. The zero value is not usable; call New.
+type Store struct {
+	mu      sync.Mutex
+	budget  int64
+	entries map[Key]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	stats   Stats
+
+	// onGenerate, when set, observes every generation start (test hook
+	// for counting deduplicated work).
+	onGenerate func(Key)
+}
+
+// New builds a store with the given LRU byte budget; budgetBytes <= 0
+// means unlimited.
+func New(budgetBytes int64) *Store {
+	return &Store{budget: budgetBytes, entries: map[Key]*entry{}}
+}
+
+// SetGenerateHook installs fn to be called at the start of every trace
+// generation (nil removes it). Tests use it to prove deduplication.
+func (s *Store) SetGenerateHook(fn func(Key)) {
+	s.mu.Lock()
+	s.onGenerate = fn
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	return st
+}
+
+// Trace is one store result: the packed form is always present, and
+// Records additionally holds the hot-tier decoded form when the budget
+// let the store keep it — replay that directly (via trace.SliceCursor)
+// to skip per-record decoding. Both forms are immutable and describe
+// the byte-identical stream.
+type Trace struct {
+	Packed  *trace.Packed
+	Records []trace.Access
+}
+
+// Cursor returns the fastest available replay source for the trace: a
+// zero-copy slice cursor over the hot decoded form when resident, else
+// a zero-allocation packed cursor.
+func (t Trace) Cursor() trace.Source {
+	if t.Records != nil {
+		cur := trace.NewSliceCursor(t.Records)
+		return &cur
+	}
+	cur := t.Packed.Cursor()
+	return &cur
+}
+
+// Get returns the packed trace for (prof, seed, accesses), generating
+// it on first request. Concurrent Gets for one key share a single
+// generation. The returned Packed is immutable — callers replay it
+// through their own cursors and must not retain it longer than needed
+// (the LRU may drop it from the store at any time; dropped traces stay
+// valid for existing holders).
+func (s *Store) Get(prof workload.Profile, seed uint64, accesses int) (*trace.Packed, error) {
+	tr, err := s.GetTrace(prof, seed, accesses)
+	return tr.Packed, err
+}
+
+// GetTrace is Get plus the hot-tier decoded form when resident (see
+// Trace). The same retention rules apply to both forms.
+func (s *Store) GetTrace(prof workload.Profile, seed uint64, accesses int) (Trace, error) {
+	if accesses <= 0 {
+		return Trace{}, fmt.Errorf("tracestore: accesses %d must be positive", accesses)
+	}
+	key := KeyFor(prof, seed, accesses)
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		s.moveToFront(e)
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return Trace{}, e.err
+		}
+		// packed and err are immutable once ready closes, but decoded
+		// can be demoted at any time — re-read it under the lock.
+		s.mu.Lock()
+		recs := e.decoded
+		s.mu.Unlock()
+		return Trace{Packed: e.packed, Records: recs}, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	s.entries[key] = e
+	s.stats.Misses++
+	hook := s.onGenerate
+	s.mu.Unlock()
+
+	if hook != nil {
+		hook(key)
+	}
+	packed, recs, err := generate(prof, seed, key)
+
+	s.mu.Lock()
+	e.packed, e.err = packed, err
+	if err != nil {
+		// Failures are not cached: a later Get retries.
+		delete(s.entries, key)
+	} else {
+		e.decoded = recs
+		e.decodedBytes = int64(len(recs)) * int64(unsafe.Sizeof(trace.Access{}))
+		s.stats.Generated++
+		s.stats.BytesInUse += e.sizeBytes()
+		s.pushFront(e)
+		s.evictOverBudget(e)
+		recs = e.decoded // may be nil if the budget demoted even e
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	return Trace{Packed: packed, Records: recs}, err
+}
+
+// generate runs the workload generator for exactly the stream
+// sim.RunWorkload would replay, materializing the records and packing
+// them. Both forms come from the same generator pass, so they are
+// identical by construction.
+func generate(prof workload.Profile, seed uint64, key Key) (*trace.Packed, []trace.Access, error) {
+	gen, err := workload.NewGenerator(prof, seed, key.PhaseLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]trace.Access, 0, key.Accesses)
+	for len(recs) < key.Accesses {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, a)
+	}
+	return trace.PackSlice(recs), recs, nil
+}
+
+// moveToFront marks e most recently used (no-op while it is still
+// generating and not yet in the list).
+func (s *Store) moveToFront(e *entry) {
+	if !e.inList || s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *Store) pushFront(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	e.inList = true
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inList = false
+}
+
+// evictOverBudget brings the resident bytes back under the budget in
+// two stages, least recently used first: demote entries to packed-only
+// by dropping their hot decoded form (an order of magnitude smaller,
+// still replayable), then evict whole entries. The just-inserted entry
+// (keep) survives both stages even when it alone exceeds the budget —
+// its caller is about to replay it. Evicted traces remain valid for
+// goroutines already holding them; the store merely forgets them.
+func (s *Store) evictOverBudget(keep *entry) {
+	if s.budget <= 0 {
+		return
+	}
+	for e := s.tail; s.stats.BytesInUse > s.budget && e != nil; e = e.prev {
+		if e == keep || e.decoded == nil {
+			continue
+		}
+		s.stats.BytesInUse -= e.decodedBytes
+		e.decoded, e.decodedBytes = nil, 0
+		s.stats.Demotions++
+	}
+	for s.stats.BytesInUse > s.budget && s.tail != nil && s.tail != keep {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.stats.BytesInUse -= victim.sizeBytes()
+		s.stats.Evictions++
+	}
+	// keep is exempt from eviction, not from demotion: if it alone
+	// still busts the budget, its packed form is what stays resident.
+	if s.stats.BytesInUse > s.budget && keep != nil && keep.decoded != nil {
+		s.stats.BytesInUse -= keep.decodedBytes
+		keep.decoded, keep.decodedBytes = nil, 0
+		s.stats.Demotions++
+	}
+}

@@ -1,0 +1,272 @@
+package tracestore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mobilecache/internal/trace"
+	"mobilecache/internal/workload"
+)
+
+func testProfile(name string) workload.Profile {
+	return workload.Profile{
+		Name:             name,
+		KernelShare:      0.4,
+		UserWorkingSet:   64 * 1024,
+		KernelWorkingSet: 32 * 1024,
+		UserZipf:         0.9,
+		KernelZipf:       0.7,
+		UserWriteRatio:   0.2,
+		KernelWriteRatio: 0.5,
+		IfetchFrac:       0.2,
+		UserCodeSet:      16 * 1024,
+		KernelCodeSet:    16 * 1024,
+		UserBurstMean:    20,
+		GapMean:          3,
+		Phases:           3,
+	}
+}
+
+// TestGetMatchesGenerator proves the cached stream is byte-identical
+// to what sim.RunWorkload's generator produces for the same inputs.
+func TestGetMatchesGenerator(t *testing.T) {
+	prof := testProfile("app")
+	const n = 20_000
+	s := New(0)
+	p, err := s.Get(prof, 7, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != n {
+		t.Fatalf("packed trace has %d records, want %d", p.Len(), n)
+	}
+	gen, err := workload.NewGenerator(prof, 7, workload.PhaseLen(prof, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Collect(trace.NewLimitSource(gen, n), n)
+	cur := p.Cursor()
+	for i, w := range want {
+		g, ok := cur.Next()
+		if !ok || g != w {
+			t.Fatalf("record %d = %+v (ok=%v), want %+v", i, g, ok, w)
+		}
+	}
+}
+
+func TestHitMissStats(t *testing.T) {
+	prof := testProfile("app")
+	s := New(0)
+	if _, err := s.Get(prof, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(prof, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(prof, 2, 5000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Generated != 2 {
+		t.Fatalf("stats = %+v, want 2 misses, 1 hit, 2 generated", st)
+	}
+	if st.Entries != 2 || st.BytesInUse <= 0 {
+		t.Fatalf("resident set wrong: %+v", st)
+	}
+}
+
+// TestSingleFlight is the concurrency guarantee: N goroutines asking
+// for one key trigger exactly one generation. Run under -race.
+func TestSingleFlight(t *testing.T) {
+	prof := testProfile("app")
+	s := New(0)
+	var generations atomic.Int64
+	s.SetGenerateHook(func(Key) { generations.Add(1) })
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	packs := make([]*trace.Packed, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			p, err := s.Get(prof, 3, 30_000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			packs[i] = p
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := generations.Load(); n != 1 {
+		t.Fatalf("%d generations for one key, want exactly 1", n)
+	}
+	for i, p := range packs {
+		if p != packs[0] {
+			t.Fatalf("goroutine %d got a different Packed instance", i)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, goroutines-1)
+	}
+}
+
+// TestConcurrentDistinctKeys exercises parallel generation of many
+// keys under -race.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	prof := testProfile("app")
+	s := New(0)
+	var wg sync.WaitGroup
+	for seed := uint64(1); seed <= 8; seed++ {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				if _, err := s.Get(prof, seed, 5000); err != nil {
+					t.Error(err)
+				}
+			}(seed)
+		}
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Generated != 8 {
+		t.Fatalf("generated %d traces for 8 distinct keys", st.Generated)
+	}
+}
+
+// TestGetTraceTiers: an unlimited budget keeps the hot decoded form
+// alongside the packed streams; a starved budget demotes entries to
+// packed-only while they stay resident and replayable.
+func TestGetTraceTiers(t *testing.T) {
+	prof := testProfile("app")
+	const n = 5000
+
+	s := New(0)
+	tr, err := s.GetTrace(prof, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Packed == nil || tr.Packed.Len() != n {
+		t.Fatalf("packed form missing or truncated: %+v", tr.Packed)
+	}
+	if len(tr.Records) != n {
+		t.Fatalf("hot decoded form has %d records, want %d", len(tr.Records), n)
+	}
+	// The two forms describe the identical stream.
+	cur := tr.Packed.Cursor()
+	for i, w := range tr.Records {
+		if g, ok := cur.Next(); !ok || g != w {
+			t.Fatalf("record %d: packed %+v (ok=%v) != decoded %+v", i, g, ok, w)
+		}
+	}
+
+	s = New(1)
+	tr, err = s.GetTrace(prof, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records != nil {
+		t.Fatal("1-byte budget retained a hot decoded form")
+	}
+	if tr.Packed == nil || tr.Packed.Len() != n {
+		t.Fatal("demoted entry lost its packed form")
+	}
+	st := s.Stats()
+	if st.Demotions == 0 || st.Entries != 1 {
+		t.Fatalf("stats after demotion = %+v", st)
+	}
+	// A later hit replays the packed form; Trace.Cursor falls back.
+	tr2, err := s.GetTrace(prof, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Records != nil || tr2.Packed != tr.Packed {
+		t.Fatalf("hit after demotion returned %+v", tr2)
+	}
+	if src := tr2.Cursor(); src == nil {
+		t.Fatal("no cursor for demoted trace")
+	} else if _, ok := src.(*trace.Cursor); !ok {
+		t.Fatalf("demoted trace cursor is %T, want *trace.Cursor", src)
+	}
+	if src := (Trace{Packed: tr.Packed, Records: make([]trace.Access, 1)}).Cursor(); src == nil {
+		t.Fatal("no cursor for hot trace")
+	} else if _, ok := src.(*trace.SliceCursor); !ok {
+		t.Fatalf("hot trace cursor is %T, want *trace.SliceCursor", src)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	prof := testProfile("app")
+	s := New(0)
+	one, err := s.Get(prof, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := one.SizeBytes()
+
+	// Budget fits two traces but not three.
+	s = New(2*per + per/2)
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := s.Get(prof, seed, 10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions with budget %d and 3 traces of %d bytes", 2*per+per/2, per)
+	}
+	if st.BytesInUse > 2*per+per/2 {
+		t.Fatalf("resident %d bytes exceeds budget", st.BytesInUse)
+	}
+	// Seed 1 was least recently used; asking again must regenerate.
+	misses := st.Misses
+	if _, err := s.Get(prof, 1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Misses; got != misses+1 {
+		t.Fatalf("evicted trace served from cache (misses %d -> %d)", misses, got)
+	}
+}
+
+// TestOversizedTraceSurvives: a single trace larger than the budget is
+// still returned and retained (the caller is about to replay it).
+func TestOversizedTraceSurvives(t *testing.T) {
+	prof := testProfile("app")
+	s := New(1) // 1 byte budget
+	p, err := s.Get(prof, 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5000 {
+		t.Fatalf("oversized trace truncated: %d records", p.Len())
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("oversized trace not retained: %+v", st)
+	}
+}
+
+func TestGenerationErrorNotCached(t *testing.T) {
+	bad := testProfile("bad")
+	bad.UserBurstMean = 0 // fails profile validation
+	s := New(0)
+	if _, err := s.Get(bad, 1, 1000); err == nil {
+		t.Fatal("invalid profile did not error")
+	}
+	if _, err := s.Get(bad, 1, 1000); err == nil {
+		t.Fatal("second Get did not re-report the error")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Generated != 0 {
+		t.Fatalf("failed generation left state: %+v", st)
+	}
+	if _, err := s.Get(bad, 1, 0); err == nil {
+		t.Fatal("non-positive accesses did not error")
+	}
+}

@@ -291,6 +291,18 @@ func (g *Generator) gap() uint32 {
 	return uint32(g.rng.Geometric(g.prof.GapMean) - 1)
 }
 
+// PhaseLen derives the per-phase access count a full-trace run of n
+// accesses uses: n split evenly over the profile's macro phases, zero
+// (stationary) for single-phase profiles. sim.RunWorkload and the trace
+// store must agree on this value so cached traces replay identically to
+// generator-driven runs.
+func PhaseLen(p Profile, n int) uint64 {
+	if p.Phases > 1 && n > 0 {
+		return uint64(n / p.Phases)
+	}
+	return 0
+}
+
 // Generate materializes n accesses of prof, splitting the trace into
 // prof.Phases equal macro phases.
 func Generate(prof Profile, seed uint64, n int) ([]trace.Access, error) {
