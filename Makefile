@@ -8,14 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: vet, the full test suite, and a
+# check is the pre-commit gate: vet, the full test suite, a
 # race-enabled short pass (the runner/chaos tests are where races
-# would hide).
+# would hide), fuzz smokes over the crash-recovery scanner and the
+# invariant auditor, and the golden-audit gate (the quick experiment
+# matrix must be conservation-clean under strict audit).
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/runner/ ./internal/tracestore/ ./internal/sim/
+	$(GO) test -race ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/checkpoint/ ./internal/invariant/
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
+	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -15,7 +15,8 @@
 // (internal/tracestore), bounded by -trace-cache-mb, so experiments
 // that revisit the same (app, seed) replay cached packed traces
 // instead of regenerating them. -cpuprofile and -memprofile write
-// pprof profiles of the run.
+// pprof profiles of the run. -audit selects the invariant-audit mode
+// for every simulation (off, warn or strict; see internal/invariant).
 package main
 
 import (
@@ -29,6 +30,8 @@ import (
 	"strings"
 
 	"mobilecache/internal/experiments"
+	"mobilecache/internal/invariant"
+	"mobilecache/internal/sim"
 	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
@@ -51,11 +54,18 @@ func run(args []string, out io.Writer) error {
 	mdDir := fs.String("md", "", "directory to dump tables as Markdown")
 	svgDir := fs.String("svg", "", "directory to write SVG figures")
 	traceCacheMB := fs.Int("trace-cache-mb", 256, "trace arena LRU budget in MB (0 = unlimited)")
+	audit := fs.String("audit", "warn", "invariant audit mode: off, warn or strict")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	mode, err := invariant.ParseMode(*audit)
+	if err != nil {
+		return fmt.Errorf("-audit: %w", err)
+	}
+	restoreAudit := sim.SetAuditMode(mode)
+	defer restoreAudit()
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -10,6 +10,8 @@
 //	mcsweep -spec sweep.json [-o results.csv]
 //	mcsweep -spec sweep.json -jobs 8 -timeout 5m -retries 2 \
 //	        -keep-going -failures-out failed.json
+//	mcsweep -spec sweep.json -checkpoint sweep.ckpt           # journal cells
+//	mcsweep -spec sweep.json -checkpoint sweep.ckpt -resume   # skip done cells
 //	mcsweep -dump-spec          # print a starting-point spec
 //
 // Spec format:
@@ -30,6 +32,21 @@
 // -jobs, so identical specs produce byte-identical CSVs. With
 // -keep-going a sweep with failures still exits non-zero, after
 // writing every healthy row and the failure manifest.
+//
+// -checkpoint journals every completed cell's report to a crash-safe
+// append-only file (internal/checkpoint), keyed by a content hash of
+// the cell's full inputs (machine config, workload profile, seed,
+// access counts). -resume replays the journal's valid prefix — a
+// truncated or corrupt tail from a crash is detected, reported and
+// discarded, never trusted — and skips every cell whose key matches,
+// so a killed multi-hour sweep continues where it stopped. Because
+// keys hash contents rather than spec positions, editing or reordering
+// the spec only re-runs cells whose inputs actually changed.
+//
+// -audit selects the invariant-audit mode (internal/invariant) for
+// every simulation: "warn" (default) logs conservation violations,
+// "strict" turns them into structured failures in the manifest, "off"
+// disables checking.
 //
 // All cells of a sweep share one trace arena (internal/tracestore):
 // rows that repeat an (app, seed) pair across machines replay the
@@ -52,9 +69,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"mobilecache/internal/checkpoint"
 	"mobilecache/internal/config"
+	"mobilecache/internal/invariant"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/tracestore"
@@ -101,12 +121,40 @@ func defaultSpec() Spec {
 
 // options collects the harness knobs.
 type options struct {
-	jobs         int
-	timeout      time.Duration
-	retries      int
-	keepGoing    bool
-	failuresOut  string
-	traceCacheMB int
+	jobs           int
+	timeout        time.Duration
+	retries        int
+	keepGoing      bool
+	failuresOut    string
+	traceCacheMB   int
+	checkpointPath string
+	resume         bool
+	audit          string
+}
+
+// validate rejects nonsensical harness settings up front — a sweep
+// that would hang on zero workers or silently clamp a negative
+// deadline must fail before any cell runs.
+func (o options) validate() error {
+	if o.jobs < 1 {
+		return fmt.Errorf("-jobs %d is not a runnable worker count (need >= 1)", o.jobs)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout %v is negative; use 0 to disable the per-cell deadline", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries %d is negative; use 0 to disable retries", o.retries)
+	}
+	if o.traceCacheMB < 0 {
+		return fmt.Errorf("-trace-cache-mb %d is negative; use 0 for an unlimited arena", o.traceCacheMB)
+	}
+	if o.resume && o.checkpointPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the journal to resume from")
+	}
+	if _, err := invariant.ParseMode(o.audit); err != nil {
+		return fmt.Errorf("-audit: %w", err)
+	}
+	return nil
 }
 
 func main() {
@@ -124,12 +172,15 @@ func run(args []string, out, errOut io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile here")
 	var opt options
-	fs.IntVar(&opt.jobs, "jobs", 0, "parallel cells (default GOMAXPROCS)")
+	fs.IntVar(&opt.jobs, "jobs", runtime.GOMAXPROCS(0), "parallel cells")
 	fs.DurationVar(&opt.timeout, "timeout", 0, "per-cell deadline (0 = none)")
 	fs.IntVar(&opt.retries, "retries", 0, "retries per cell for transient failures")
 	fs.BoolVar(&opt.keepGoing, "keep-going", false, "record failed cells and finish the sweep (still exits non-zero)")
-	fs.StringVar(&opt.failuresOut, "failures-out", "", "write the failure manifest JSON here")
+	fs.StringVar(&opt.failuresOut, "failures-out", "", "write the failure manifest JSON here (incrementally, then finalized)")
 	fs.IntVar(&opt.traceCacheMB, "trace-cache-mb", 256, "trace arena LRU budget in MB (0 = unlimited)")
+	fs.StringVar(&opt.checkpointPath, "checkpoint", "", "journal completed cells to this crash-safe file")
+	fs.BoolVar(&opt.resume, "resume", false, "skip cells already completed in the -checkpoint journal")
+	fs.StringVar(&opt.audit, "audit", "warn", "invariant audit mode: off, warn or strict")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,10 +193,20 @@ func run(args []string, out, errOut io.Writer) error {
 	if *specPath == "" {
 		return fmt.Errorf("need -spec (or -dump-spec)")
 	}
+	if err := opt.validate(); err != nil {
+		return err
+	}
 	spec, err := loadSpec(*specPath)
 	if err != nil {
 		return err
 	}
+
+	mode, err := invariant.ParseMode(opt.audit)
+	if err != nil {
+		return err
+	}
+	restoreAudit := sim.SetAuditMode(mode)
+	defer restoreAudit()
 
 	stopProfile, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -279,12 +340,63 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 
 	// Cells in spec order; outcomes come back in the same order, so the
 	// CSV is byte-identical for identical specs regardless of -jobs.
+	// Each cell's checkpoint key hashes its full resolved inputs, so a
+	// resumed sweep skips exactly the cells whose inputs are unchanged,
+	// however the spec was edited or reordered in between.
 	var cells []runner.Cell
+	keys := map[runner.Cell]checkpoint.Key{}
 	for _, mEntry := range spec.Machines {
 		for _, appName := range spec.Apps {
 			for _, seed := range spec.Seeds {
-				cells = append(cells, runner.Cell{Machine: mEntry, App: appName, Seed: seed})
+				c := runner.Cell{Machine: mEntry, App: appName, Seed: seed}
+				key, err := checkpoint.KeyOf(machines[mEntry], profiles[appName], seed, spec.Accesses, spec.Warmup)
+				if err != nil {
+					return fmt.Errorf("keying cell %s: %w", c, err)
+				}
+				cells = append(cells, c)
+				keys[c] = key
 			}
+		}
+	}
+
+	// Open the checkpoint journal. Resume replays the valid prefix
+	// (later entries win, so a cell re-run after a crash supersedes
+	// its earlier record) and truncates any torn tail.
+	var (
+		journal   *checkpoint.Journal
+		resumed   map[checkpoint.Key]sim.RunReport
+		nResumed  atomic.Uint64
+		discarded int64
+	)
+	if opt.checkpointPath != "" {
+		if opt.resume {
+			j, entries, info, err := checkpoint.Resume(opt.checkpointPath, 0)
+			if err != nil {
+				return fmt.Errorf("resuming checkpoint %s: %w", opt.checkpointPath, err)
+			}
+			journal = j
+			discarded = info.DiscardedBytes
+			resumed = make(map[checkpoint.Key]sim.RunReport, len(entries))
+			for _, e := range entries {
+				var rep sim.RunReport
+				if err := json.Unmarshal(e.Data, &rep); err != nil {
+					// CRC-valid but undecodable means a format-version skew;
+					// re-running the cell is always safe.
+					fmt.Fprintf(errOut, "checkpoint: skipping undecodable entry: %v\n", err)
+					continue
+				}
+				resumed[e.Key] = rep
+			}
+			if discarded > 0 {
+				fmt.Fprintf(errOut, "checkpoint: discarded %d corrupt trailing bytes (crash remnant); %d entries survive\n",
+					discarded, len(entries))
+			}
+		} else {
+			j, err := checkpoint.Create(opt.checkpointPath, 0)
+			if err != nil {
+				return fmt.Errorf("creating checkpoint %s: %w", opt.checkpointPath, err)
+			}
+			journal = j
 		}
 	}
 
@@ -293,20 +405,59 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 	// instead of regenerating it.
 	store := tracestore.New(int64(opt.traceCacheMB) << 20)
 
+	// Failures stream into the manifest file as they happen (one
+	// fsynced JSON line each), so a killed sweep still leaves a
+	// diagnosable failure log; Finalize replaces it with the canonical
+	// manifest at the end.
+	var mlog *runner.ManifestLogger
 	rcfg := runner.Config{
 		Workers:   opt.jobs,
 		Timeout:   opt.timeout,
 		Retries:   opt.retries,
 		KeepGoing: opt.keepGoing,
 	}
+	if opt.failuresOut != "" {
+		var err error
+		mlog, err = runner.NewManifestLogger(opt.failuresOut)
+		if err != nil {
+			return fmt.Errorf("opening failure manifest %s: %w", opt.failuresOut, err)
+		}
+		rcfg.OnFailure = mlog.Record
+	}
 	outcomes, runErr := runner.Run(context.Background(), rcfg, cells,
 		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
-			cfg, prof := machines[c.Machine], profiles[c.App]
-			if spec.Warmup > 0 {
-				return sim.RunWarmWorkloadFrom(store, cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
+			key := keys[c]
+			if rep, ok := resumed[key]; ok {
+				// Already completed (and audited) in a previous run.
+				nResumed.Add(1)
+				return rep, nil
 			}
-			return sim.RunWorkloadFrom(store, cfg, prof, c.Seed, spec.Accesses)
+			cfg, prof := machines[c.Machine], profiles[c.App]
+			var rep sim.RunReport
+			var err error
+			if spec.Warmup > 0 {
+				rep, err = sim.RunWarmWorkloadFrom(store, cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
+			} else {
+				rep, err = sim.RunWorkloadFrom(store, cfg, prof, c.Seed, spec.Accesses)
+			}
+			if err != nil {
+				return rep, err
+			}
+			if journal != nil {
+				// A cell whose result can't be made durable is a failed
+				// cell: the user asked for crash safety.
+				if jerr := journal.AppendJSON(key, rep); jerr != nil {
+					return rep, fmt.Errorf("checkpoint append: %w", jerr)
+				}
+			}
+			return rep, nil
 		})
+
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("closing checkpoint %s: %w", opt.checkpointPath, cerr)
+		}
+	}
 
 	cw := csv.NewWriter(w)
 	header := []string{
@@ -335,20 +486,16 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 	manifest := runner.BuildManifest(outcomes)
 	st := store.Stats()
 	fmt.Fprintf(errOut,
-		"sweep: %d cells (%d ok, %d failed); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted\n",
-		manifest.TotalCells, manifest.Succeeded, len(manifest.Failed),
+		"sweep: %d cells (%d ok, %d failed, %d resumed); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted\n",
+		manifest.TotalCells, manifest.Succeeded, len(manifest.Failed), nResumed.Load(),
 		st.Generated, st.Hits, st.Misses, float64(st.BytesInUse)/(1<<20), st.Evictions)
-	if opt.failuresOut != "" {
-		mf, err := os.Create(opt.failuresOut)
-		if err != nil {
-			return err
-		}
-		werr := manifest.WriteJSON(mf)
-		if cerr := mf.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return fmt.Errorf("writing failure manifest %s: %w", opt.failuresOut, werr)
+	if journal != nil {
+		fmt.Fprintf(errOut, "checkpoint: %d cells appended to %s (%d resumed, %d corrupt bytes discarded)\n",
+			journal.Appended(), opt.checkpointPath, nResumed.Load(), discarded)
+	}
+	if mlog != nil {
+		if err := mlog.Finalize(manifest); err != nil {
+			return fmt.Errorf("writing failure manifest %s: %w", opt.failuresOut, err)
 		}
 	}
 

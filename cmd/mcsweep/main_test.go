@@ -96,7 +96,7 @@ func TestSweepSharedTraceArena(t *testing.T) {
 		t.Fatal(err)
 	}
 	summary := errOut.String()
-	if !strings.Contains(summary, "4 cells (4 ok, 0 failed)") {
+	if !strings.Contains(summary, "4 cells (4 ok, 0 failed, 0 resumed)") {
 		t.Fatalf("summary missing cell counts:\n%s", summary)
 	}
 	if !strings.Contains(summary, "2 generated, 2 hits, 2 misses") {

@@ -34,6 +34,7 @@ type L2Stats struct {
 	Hits     [trace.NumDomains]uint64
 	Misses   [trace.NumDomains]uint64
 
+	Evictions             uint64
 	InterferenceEvictions uint64
 	Writebacks            uint64
 	ExpiryInvalidations   uint64
@@ -86,6 +87,7 @@ func (s *L2Stats) add(o L2Stats) {
 		s.Hits[d] += o.Hits[d]
 		s.Misses[d] += o.Misses[d]
 	}
+	s.Evictions += o.Evictions
 	s.InterferenceEvictions += o.InterferenceEvictions
 	s.Writebacks += o.Writebacks
 	s.ExpiryInvalidations += o.ExpiryInvalidations
@@ -321,6 +323,7 @@ func (s *segment) stats() L2Stats {
 		out.Hits[d] = cs.Hits[d]
 		out.Misses[d] = cs.Misses[d]
 	}
+	out.Evictions = cs.Evictions
 	out.InterferenceEvictions = cs.InterferenceEvictions
 	out.Writebacks = cs.Writebacks
 	out.ExpiryInvalidations = cs.ExpiryInvalidations

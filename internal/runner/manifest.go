@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 )
 
@@ -13,6 +14,32 @@ type Failure struct {
 	Attempts int    `json:"attempts"`
 	Panicked bool   `json:"panicked,omitempty"`
 	Error    string `json:"error"`
+	// Violations carries the structured invariant-audit findings when
+	// the failure is a strict-audit error (see internal/invariant);
+	// empty for ordinary failures.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// violationCarrier is the duck-typed hook invariant-audit errors
+// implement; matching on the method keeps runner free of an
+// internal/invariant import.
+type violationCarrier interface{ InvariantViolations() []string }
+
+// failureOf flattens one RunError into its manifest entry.
+func failureOf(e *RunError) Failure {
+	f := Failure{
+		Machine:  e.Cell.Machine,
+		App:      e.Cell.App,
+		Seed:     e.Cell.Seed,
+		Attempts: e.Attempts,
+		Panicked: e.Panicked,
+		Error:    e.Err.Error(),
+	}
+	var vc violationCarrier
+	if errors.As(e.Err, &vc) {
+		f.Violations = vc.InvariantViolations()
+	}
+	return f
 }
 
 // Manifest summarizes a degraded sweep: how many cells ran, which
@@ -35,14 +62,7 @@ func BuildManifest[T any](outcomes []Outcome[T]) Manifest {
 			m.Succeeded++
 			continue
 		}
-		m.Failed = append(m.Failed, Failure{
-			Machine:  o.Cell.Machine,
-			App:      o.Cell.App,
-			Seed:     o.Cell.Seed,
-			Attempts: o.Err.Attempts,
-			Panicked: o.Err.Panicked,
-			Error:    o.Err.Err.Error(),
-		})
+		m.Failed = append(m.Failed, failureOf(o.Err))
 	}
 	return m
 }

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"mobilecache/internal/checkpoint"
+)
+
+// ManifestLogger persists failures the moment they happen instead of
+// only at sweep end: hook its Record method into Config.OnFailure and
+// each failure lands on disk as one fsynced JSON line before sibling
+// cells finish. A sweep killed mid-flight therefore leaves a readable
+// failure log; a sweep that reaches the end calls Finalize, which
+// atomically replaces the line log with the canonical indented
+// Manifest built from the full outcome set.
+type ManifestLogger struct {
+	af *checkpoint.AppendFile
+}
+
+// NewManifestLogger truncates path and opens it for incremental
+// failure lines. Every Record is fsynced (failures are rare and each
+// one must survive the very crash it may be the first symptom of).
+func NewManifestLogger(path string) (*ManifestLogger, error) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	af, err := checkpoint.NewAppendFile(path, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &ManifestLogger{af: af}, nil
+}
+
+// Record appends one failure as a JSON line. Safe for concurrent use
+// (it is designed to be Config.OnFailure); errors are sticky in the
+// underlying append file and surface from Finalize.
+func (l *ManifestLogger) Record(e *RunError) {
+	line, err := json.Marshal(failureOf(e))
+	if err != nil {
+		return // a failure we cannot serialize still shows up in Finalize
+	}
+	_ = l.af.Append(append(line, '\n'))
+}
+
+// Finalize closes the incremental log and atomically replaces it with
+// the canonical manifest for the whole run (write-temp-then-rename, so
+// the path never holds a half-written manifest).
+func (l *ManifestLogger) Finalize(m Manifest) error {
+	path := l.af.Name()
+	closeErr := l.af.Close()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return closeErr
+}
+
+// Close abandons the logger without finalizing (the incremental line
+// log stays on disk as-is).
+func (l *ManifestLogger) Close() error { return l.af.Close() }

@@ -98,6 +98,13 @@ type Config struct {
 	// KeepGoing records failures and lets sibling cells complete;
 	// otherwise the first failure cancels the rest of the run.
 	KeepGoing bool
+	// OnFailure, when non-nil, is called from the worker goroutine the
+	// moment a cell's attempts are exhausted — before sibling cells
+	// finish — so failures can be persisted incrementally instead of
+	// only in the end-of-sweep manifest. It may be called concurrently
+	// from multiple workers and must be safe for that. Cells cancelled
+	// before dispatch do not fire it.
+	OnFailure func(*RunError)
 }
 
 // Func computes one cell. It must respect ctx for prompt cancellation;
@@ -146,8 +153,13 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell, fn Func[T]) ([]Ou
 			defer wg.Done()
 			for i := range idxCh {
 				outcomes[i] = runCell(runCtx, cfg, cells[i], fn)
-				if outcomes[i].Err != nil && !cfg.KeepGoing {
-					cancel()
+				if outcomes[i].Err != nil {
+					if cfg.OnFailure != nil {
+						cfg.OnFailure(outcomes[i].Err)
+					}
+					if !cfg.KeepGoing {
+						cancel()
+					}
 				}
 			}
 		}()

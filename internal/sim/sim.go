@@ -191,7 +191,7 @@ func RunWorkload(cfg config.Machine, prof workload.Profile, seed uint64, accesse
 	if err != nil {
 		return RunReport{}, err
 	}
-	return RunTrace(m, prof.Name, trace.NewLimitSource(gen, accesses), 0), nil
+	return auditExit(RunTrace(m, prof.Name, trace.NewLimitSource(gen, accesses), 0), nil)
 }
 
 // RunWorkloadFrom is the store-aware variant of RunWorkload: the app's
@@ -217,7 +217,7 @@ func RunWorkloadFrom(store *tracestore.Store, cfg config.Machine, prof workload.
 	if err != nil {
 		return RunReport{}, err
 	}
-	return RunTrace(m, prof.Name, tr.Cursor(), 0), nil
+	return auditExit(RunTrace(m, prof.Name, tr.Cursor(), 0), nil)
 }
 
 // buildStandardMachines constructs the seven schemes of the paper's

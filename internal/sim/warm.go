@@ -44,6 +44,7 @@ func subL2Stats(a, b core.L2Stats) core.L2Stats {
 		out.Hits[d] = a.Hits[d] - b.Hits[d]
 		out.Misses[d] = a.Misses[d] - b.Misses[d]
 	}
+	out.Evictions = a.Evictions - b.Evictions
 	out.InterferenceEvictions = a.InterferenceEvictions - b.InterferenceEvictions
 	out.Writebacks = a.Writebacks - b.Writebacks
 	out.ExpiryInvalidations = a.ExpiryInvalidations - b.ExpiryInvalidations
@@ -51,6 +52,10 @@ func subL2Stats(a, b core.L2Stats) core.L2Stats {
 	out.EagerWritebacks = a.EagerWritebacks - b.EagerWritebacks
 	out.CleanExpiries = a.CleanExpiries - b.CleanExpiries
 	out.DirtyExpiries = a.DirtyExpiries - b.DirtyExpiries
+	// FaultExpiries was historically dropped from warm diffs, silently
+	// zeroing fault-loss accounting in warm measurements; subtract it
+	// like every other counter.
+	out.FaultExpiries = a.FaultExpiries - b.FaultExpiries
 	return out
 }
 
@@ -120,7 +125,7 @@ func RunWarmWorkload(cfg config.Machine, prof workload.Profile, seed uint64, war
 		return RunReport{}, err
 	}
 	src := trace.NewLimitSource(gen, total)
-	return RunWarm(m, prof.Name, src, uint64(warmup), uint64(measure)), nil
+	return auditExit(RunWarm(m, prof.Name, src, uint64(warmup), uint64(measure)), nil)
 }
 
 // RunWarmWorkloadFrom is the store-aware variant of RunWarmWorkload:
@@ -143,5 +148,5 @@ func RunWarmWorkloadFrom(store *tracestore.Store, cfg config.Machine, prof workl
 	if err != nil {
 		return RunReport{}, err
 	}
-	return RunWarm(m, prof.Name, tr.Cursor(), uint64(warmup), uint64(measure)), nil
+	return auditExit(RunWarm(m, prof.Name, tr.Cursor(), uint64(warmup), uint64(measure)), nil)
 }
