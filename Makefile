@@ -9,15 +9,15 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: vet, the full test suite, a
-# race-enabled short pass (the runner/chaos tests are where races
-# would hide), fuzz smokes over the crash-recovery scanner and the
+# race-enabled short pass (the engine/runner/chaos tests are where
+# races would hide), fuzz smokes over the crash-recovery scanner and the
 # invariant auditor, and the golden-audit gate (the quick experiment
 # matrix must be conservation-clean under strict audit).
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/checkpoint/ ./internal/invariant/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/checkpoint/ ./internal/invariant/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
@@ -25,9 +25,9 @@ check:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# bench-json regenerates BENCH_PR2.json, the trace-arena performance
-# evidence (replay ns+allocs per access, quick-matrix speedup vs a
-# trace-regenerating baseline).
+# bench-json regenerates BENCH_PR4.json, the pipeline performance
+# evidence (replay ns+allocs per access, quick-matrix speedup of the
+# engine's shared arena vs a trace-regenerating baseline).
 bench-json:
 	MC_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON -count=1 -v .
 

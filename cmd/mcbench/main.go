@@ -11,12 +11,14 @@
 // Experiment IDs E1..E12 are the reconstructed figures, T1/T2 the
 // tables; see DESIGN.md for the per-experiment index.
 //
-// Every experiment in a run shares one trace arena
-// (internal/tracestore), bounded by -trace-cache-mb, so experiments
-// that revisit the same (app, seed) replay cached packed traces
-// instead of regenerating them. -cpuprofile and -memprofile write
-// pprof profiles of the run. -audit selects the invariant-audit mode
-// for every simulation (off, warn or strict; see internal/invariant).
+// Every experiment in a run is executed through one shared pipeline
+// engine (internal/engine): its trace arena, bounded by
+// -trace-cache-mb, replays cached packed traces for experiments that
+// revisit the same (app, seed), and its content-hash run memo lets
+// experiments that share (machine, app, seed) cells simulate them
+// once. -cpuprofile and -memprofile write pprof profiles of the run.
+// -audit selects the invariant-audit mode for every simulation (off,
+// warn or strict; see internal/invariant).
 package main
 
 import (
@@ -25,14 +27,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"mobilecache/internal/engine"
 	"mobilecache/internal/experiments"
-	"mobilecache/internal/invariant"
-	"mobilecache/internal/sim"
-	"mobilecache/internal/tracestore"
+	"mobilecache/internal/profiling"
 	"mobilecache/internal/workload"
 )
 
@@ -60,11 +59,10 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := invariant.ParseMode(*audit)
+	restoreAudit, err := engine.ApplyAudit(*audit)
 	if err != nil {
 		return fmt.Errorf("-audit: %w", err)
 	}
-	restoreAudit := sim.SetAuditMode(mode)
 	defer restoreAudit()
 
 	if *list {
@@ -74,40 +72,21 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return err
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProfile, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
-				return
-			}
-			runtime.GC() // materialize the steady-state heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
-			}
-			f.Close()
-		}()
-	}
+	defer func() {
+		if perr := stopProfile(); perr != nil {
+			fmt.Fprintln(os.Stderr, "mcbench: profile:", perr)
+		}
+	}()
 
 	opts := experiments.Options{
-		Accesses:   *accesses,
-		Seed:       *seed,
-		Apps:       workload.Profiles(),
-		TraceStore: tracestore.New(int64(*traceCacheMB) << 20),
+		Accesses: *accesses,
+		Seed:     *seed,
+		Apps:     workload.Profiles(),
+		Engine:   engine.New(engine.Config{TraceBudgetBytes: engine.TraceBudgetMB(*traceCacheMB)}),
 	}
 	if *apps != "" {
 		opts.Apps = nil

@@ -1,19 +1,25 @@
 // mcsim runs one workload through one machine configuration and prints
-// timing, cache and energy statistics.
+// timing, cache and energy statistics. Generated-app runs go through
+// the shared execution pipeline (internal/engine), so mcsim uses the
+// same trace arena, run memo and invariant audit as mcbench and
+// mcsweep; trace-file replays drive the simulator directly and are
+// audited the same way.
 //
 // Usage:
 //
 //	mcsim [-machine name | -config file.json] [-app name | -trace file]
-//	      [-accesses n] [-seed s] [-dump-config]
+//	      [-accesses n] [-seed s] [-audit off|warn|strict] [-dump-config]
 //
 // Examples:
 //
 //	mcsim -machine sp-mr -app browser -accesses 400000
 //	mcsim -config mymachine.json -trace captured.mctr
+//	mcsim -machine dp-sr -app music -audit strict
 //	mcsim -machine dp -dump-config   # print the JSON for editing
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +27,7 @@ import (
 	"strings"
 
 	"mobilecache/internal/config"
+	"mobilecache/internal/engine"
 	"mobilecache/internal/report"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/trace"
@@ -42,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "binary trace file to replay (overrides -app)")
 	accesses := fs.Int("accesses", 400_000, "accesses to simulate (0 = whole trace)")
 	seed := fs.Uint64("seed", 1, "workload generator seed")
+	audit := fs.String("audit", "warn", "invariant audit mode: off, warn or strict")
 	dump := fs.Bool("dump-config", false, "print the machine config as JSON and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,46 +69,53 @@ func run(args []string, out io.Writer) error {
 		return cfg.Save(out)
 	}
 
-	m, err := sim.Build(cfg)
+	restoreAudit, err := engine.ApplyAudit(*audit)
+	if err != nil {
+		return fmt.Errorf("-audit: %w", err)
+	}
+	defer restoreAudit()
+
+	var rep sim.RunReport
+	if *tracePath != "" {
+		rep, err = replayTraceFile(cfg, *tracePath, uint64(*accesses))
+	} else {
+		if *accesses <= 0 {
+			return fmt.Errorf("-accesses must be positive with a generated workload")
+		}
+		var prof workload.Profile
+		prof, err = workload.ProfileByName(*app)
+		if err != nil {
+			return err
+		}
+		rep, err = engine.New(engine.Config{}).RunOne(context.Background(), engine.Cell{
+			Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: prof, Seed: *seed,
+		}, *accesses, 0)
+	}
 	if err != nil {
 		return err
 	}
-
-	var src trace.Source
-	name := ""
-	if *tracePath != "" {
-		r, closer, err := trace.OpenFile(*tracePath) // handles .gz
-		if err != nil {
-			return err
-		}
-		defer closer.Close()
-		defer func() {
-			if r.Err() != nil {
-				fmt.Fprintln(os.Stderr, "mcsim: trace warning:", r.Err())
-			}
-		}()
-		src, name = r, *tracePath
-	} else {
-		prof, err := workload.ProfileByName(*app)
-		if err != nil {
-			return err
-		}
-		phaseLen := uint64(0)
-		if prof.Phases > 1 && *accesses > 0 {
-			phaseLen = uint64(*accesses / prof.Phases)
-		}
-		gen, err := workload.NewGenerator(prof, *seed, phaseLen)
-		if err != nil {
-			return err
-		}
-		src, name = gen, prof.Name
-		if *accesses == 0 {
-			return fmt.Errorf("-accesses must be positive with a generated workload")
-		}
-	}
-
-	rep := sim.RunTrace(m, name, src, uint64(*accesses))
 	return printReport(out, rep)
+}
+
+// replayTraceFile drives a captured trace straight through the
+// simulator (a file replay has no profile identity for the shared
+// arena) and applies the process audit mode to the result.
+func replayTraceFile(cfg config.Machine, path string, maxAccesses uint64) (sim.RunReport, error) {
+	m, err := sim.Build(cfg)
+	if err != nil {
+		return sim.RunReport{}, err
+	}
+	r, closer, err := trace.OpenFile(path) // handles .gz
+	if err != nil {
+		return sim.RunReport{}, err
+	}
+	defer closer.Close()
+	defer func() {
+		if r.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mcsim: trace warning:", r.Err())
+		}
+	}()
+	return sim.ApplyAudit(sim.RunTrace(m, path, r, maxAccesses))
 }
 
 func printReport(out io.Writer, rep sim.RunReport) error {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"mobilecache/internal/sim"
 	"mobilecache/internal/trace"
 )
 
@@ -104,5 +105,62 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestRunAuditFlag: -audit gates every mcsim path the way it does for
+// mcbench/mcsweep — bad modes are rejected up front, strict mode turns
+// a miscounted report into a failure, and off mode lets it through.
+func TestRunAuditFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-audit", "loud"}, &out); err == nil || !strings.Contains(err.Error(), "-audit") {
+		t.Fatalf("bad audit mode returned %v, want an -audit error", err)
+	}
+
+	restoreTamper := sim.SetAuditTamper(func(r *sim.RunReport) { r.DRAMReads++ })
+	defer restoreTamper()
+
+	args := []string{"-machine", "baseline-sram", "-app", "browser", "-accesses", "10000"}
+	out.Reset()
+	if err := run(append(args, "-audit", "strict"), &out); err == nil {
+		t.Fatal("strict audit let a tampered generated-app report pass")
+	}
+	out.Reset()
+	if err := run(append(args, "-audit", "off"), &out); err != nil {
+		t.Fatalf("off audit rejected the run: %v", err)
+	}
+}
+
+// TestRunAuditFlagTraceReplay: strict audit also covers the raw
+// trace-file replay path (which bypasses the engine).
+func TestRunAuditFlagTraceReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for i := 0; i < 300; i++ {
+		if err := w.Write(trace.Access{Addr: uint64(i) * 64, Op: trace.Load, Domain: trace.User}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restoreTamper := sim.SetAuditTamper(func(r *sim.RunReport) { r.DRAMReads++ })
+	defer restoreTamper()
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-accesses", "0", "-audit", "strict"}, &out); err == nil {
+		t.Fatal("strict audit let a tampered trace-replay report pass")
+	}
+	out.Reset()
+	if err := run([]string{"-trace", path, "-accesses", "0", "-audit", "off"}, &out); err != nil {
+		t.Fatalf("off audit rejected the replay: %v", err)
 	}
 }

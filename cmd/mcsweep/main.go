@@ -1,9 +1,10 @@
 // mcsweep runs a batch of (machine, app, seed) simulations described
 // by a JSON spec and emits one CSV row per run — the bulk-experiment
-// front end for custom studies. Cells run in parallel on a bounded,
-// fault-containing worker pool (internal/runner): a panicking or
-// erroring cell is recorded — with -keep-going, in a failure manifest
-// — while the rest of the sweep completes and emits its partial CSV.
+// front end for custom studies. The grid itself is executed by the
+// shared pipeline layer (internal/engine), which composes the bounded
+// fault-containing worker pool, the shared trace arena, the crash-safe
+// checkpoint journal and the invariant audit; mcsweep is spec parsing
+// plus engine wiring.
 //
 // Usage:
 //
@@ -59,7 +60,6 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -67,17 +67,11 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"runtime/pprof"
-	"strconv"
-	"sync/atomic"
 	"time"
 
-	"mobilecache/internal/checkpoint"
-	"mobilecache/internal/config"
-	"mobilecache/internal/invariant"
+	"mobilecache/internal/engine"
+	"mobilecache/internal/profiling"
 	"mobilecache/internal/runner"
-	"mobilecache/internal/sim"
-	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -151,7 +145,7 @@ func (o options) validate() error {
 	if o.resume && o.checkpointPath == "" {
 		return fmt.Errorf("-resume needs -checkpoint to name the journal to resume from")
 	}
-	if _, err := invariant.ParseMode(o.audit); err != nil {
+	if err := engine.CheckAudit(o.audit); err != nil {
 		return fmt.Errorf("-audit: %w", err)
 	}
 	return nil
@@ -201,14 +195,13 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
-	mode, err := invariant.ParseMode(opt.audit)
+	restoreAudit, err := engine.ApplyAudit(opt.audit)
 	if err != nil {
 		return err
 	}
-	restoreAudit := sim.SetAuditMode(mode)
 	defer restoreAudit()
 
-	stopProfile, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfile, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
@@ -237,45 +230,6 @@ func run(args []string, out, errOut io.Writer) error {
 	return sweepErr
 }
 
-// startProfiles wires the optional pprof outputs and returns the
-// function that finalizes them (stops the CPU profile, snapshots the
-// heap after a GC).
-func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
-			return nil, err
-		}
-	}
-	return func() error {
-		var ferr error
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			ferr = cpuFile.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return err
-			}
-			runtime.GC() // materialize the steady-state heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-		}
-		return ferr
-	}, nil
-}
-
 // loadSpec reads, fully parses and validates the spec file. Trailing
 // data after the JSON object (a concatenated second spec, an editing
 // accident) is rejected: silently ignoring it would run a different
@@ -301,202 +255,66 @@ func loadSpec(path string) (Spec, error) {
 	return spec, nil
 }
 
-// machineFor resolves a machine entry: standard scheme names win, and
-// only non-schemes fall back to config-file loading. (Resolving by
-// name first means a scheme alias containing a '.' can never be
-// silently mistaken for a file path.)
-func machineFor(entry string) (config.Machine, error) {
-	if m, err := sim.MachineByName(entry); err == nil {
-		return m, nil
-	}
-	m, err := config.LoadFile(entry)
-	if err != nil {
-		return config.Machine{}, fmt.Errorf("machine %q is not a standard scheme (have %v) and not a loadable config file: %w",
-			entry, sim.StandardMachineNames(), err)
-	}
-	return m, nil
-}
-
-func sweep(spec Spec, opt options, w, errOut io.Writer) error {
-	// Resolve every machine and app up front: a typo in the spec is a
-	// configuration error and should fail the whole sweep immediately,
-	// not burn through N-1 healthy cells first.
-	machines := make(map[string]config.Machine, len(spec.Machines))
+// plan resolves the spec into an engine.Plan. Every machine and app is
+// resolved up front: a typo in the spec is a configuration error and
+// should fail the whole sweep immediately, not burn through N-1
+// healthy cells first.
+func plan(spec Spec) (engine.Plan, error) {
+	machines := make([]engine.MachineSpec, 0, len(spec.Machines))
 	for _, entry := range spec.Machines {
-		cfg, err := machineFor(entry)
+		cfg, err := engine.ResolveMachine(entry)
 		if err != nil {
-			return err
+			return engine.Plan{}, err
 		}
-		machines[entry] = cfg
+		machines = append(machines, engine.MachineSpec{Label: entry, Config: cfg})
 	}
-	profiles := make(map[string]workload.Profile, len(spec.Apps))
+	apps := make([]workload.Profile, 0, len(spec.Apps))
 	for _, appName := range spec.Apps {
 		prof, err := workload.ProfileByName(appName)
 		if err != nil {
-			return err
+			return engine.Plan{}, err
 		}
-		profiles[appName] = prof
+		apps = append(apps, prof)
 	}
+	return engine.Grid(machines, apps, spec.Seeds, spec.Accesses, spec.Warmup), nil
+}
 
-	// Cells in spec order; outcomes come back in the same order, so the
-	// CSV is byte-identical for identical specs regardless of -jobs.
-	// Each cell's checkpoint key hashes its full resolved inputs, so a
-	// resumed sweep skips exactly the cells whose inputs are unchanged,
-	// however the spec was edited or reordered in between.
-	var cells []runner.Cell
-	keys := map[runner.Cell]checkpoint.Key{}
-	for _, mEntry := range spec.Machines {
-		for _, appName := range spec.Apps {
-			for _, seed := range spec.Seeds {
-				c := runner.Cell{Machine: mEntry, App: appName, Seed: seed}
-				key, err := checkpoint.KeyOf(machines[mEntry], profiles[appName], seed, spec.Accesses, spec.Warmup)
-				if err != nil {
-					return fmt.Errorf("keying cell %s: %w", c, err)
-				}
-				cells = append(cells, c)
-				keys[c] = key
-			}
-		}
-	}
-
-	// Open the checkpoint journal. Resume replays the valid prefix
-	// (later entries win, so a cell re-run after a crash supersedes
-	// its earlier record) and truncates any torn tail.
-	var (
-		journal   *checkpoint.Journal
-		resumed   map[checkpoint.Key]sim.RunReport
-		nResumed  atomic.Uint64
-		discarded int64
-	)
-	if opt.checkpointPath != "" {
-		if opt.resume {
-			j, entries, info, err := checkpoint.Resume(opt.checkpointPath, 0)
-			if err != nil {
-				return fmt.Errorf("resuming checkpoint %s: %w", opt.checkpointPath, err)
-			}
-			journal = j
-			discarded = info.DiscardedBytes
-			resumed = make(map[checkpoint.Key]sim.RunReport, len(entries))
-			for _, e := range entries {
-				var rep sim.RunReport
-				if err := json.Unmarshal(e.Data, &rep); err != nil {
-					// CRC-valid but undecodable means a format-version skew;
-					// re-running the cell is always safe.
-					fmt.Fprintf(errOut, "checkpoint: skipping undecodable entry: %v\n", err)
-					continue
-				}
-				resumed[e.Key] = rep
-			}
-			if discarded > 0 {
-				fmt.Fprintf(errOut, "checkpoint: discarded %d corrupt trailing bytes (crash remnant); %d entries survive\n",
-					discarded, len(entries))
-			}
-		} else {
-			j, err := checkpoint.Create(opt.checkpointPath, 0)
-			if err != nil {
-				return fmt.Errorf("creating checkpoint %s: %w", opt.checkpointPath, err)
-			}
-			journal = j
-		}
-	}
-
-	// One trace arena for the whole sweep: cells that repeat an
-	// (app, seed) pair across machines replay the cached packed trace
-	// instead of regenerating it.
-	store := tracestore.New(int64(opt.traceCacheMB) << 20)
-
-	// Failures stream into the manifest file as they happen (one
-	// fsynced JSON line each), so a killed sweep still leaves a
-	// diagnosable failure log; Finalize replaces it with the canonical
-	// manifest at the end.
-	var mlog *runner.ManifestLogger
-	rcfg := runner.Config{
-		Workers:   opt.jobs,
-		Timeout:   opt.timeout,
-		Retries:   opt.retries,
-		KeepGoing: opt.keepGoing,
-	}
-	if opt.failuresOut != "" {
-		var err error
-		mlog, err = runner.NewManifestLogger(opt.failuresOut)
-		if err != nil {
-			return fmt.Errorf("opening failure manifest %s: %w", opt.failuresOut, err)
-		}
-		rcfg.OnFailure = mlog.Record
-	}
-	outcomes, runErr := runner.Run(context.Background(), rcfg, cells,
-		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
-			key := keys[c]
-			if rep, ok := resumed[key]; ok {
-				// Already completed (and audited) in a previous run.
-				nResumed.Add(1)
-				return rep, nil
-			}
-			cfg, prof := machines[c.Machine], profiles[c.App]
-			var rep sim.RunReport
-			var err error
-			if spec.Warmup > 0 {
-				rep, err = sim.RunWarmWorkloadFrom(store, cfg, prof, c.Seed, spec.Warmup, spec.Accesses)
-			} else {
-				rep, err = sim.RunWorkloadFrom(store, cfg, prof, c.Seed, spec.Accesses)
-			}
-			if err != nil {
-				return rep, err
-			}
-			if journal != nil {
-				// A cell whose result can't be made durable is a failed
-				// cell: the user asked for crash safety.
-				if jerr := journal.AppendJSON(key, rep); jerr != nil {
-					return rep, fmt.Errorf("checkpoint append: %w", jerr)
-				}
-			}
-			return rep, nil
-		})
-
-	if journal != nil {
-		if cerr := journal.Close(); cerr != nil && runErr == nil {
-			runErr = fmt.Errorf("closing checkpoint %s: %w", opt.checkpointPath, cerr)
-		}
-	}
-
-	cw := csv.NewWriter(w)
-	header := []string{
-		"machine", "app", "seed", "accesses",
-		"ipc", "l2_missrate", "l2_kernel_share",
-		"l2_read_j", "l2_write_j", "l2_leakage_j", "l2_refresh_j", "l2_total_j",
-		"dram_reads", "dram_writes", "hierarchy_total_j",
-		"l2_powered_bytes",
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, o := range outcomes {
-		if o.Err != nil {
-			continue
-		}
-		if err := cw.Write(row(machines[o.Cell.Machine].Name, o.Cell.App, o.Cell.Seed, o.Value)); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+// sweep executes the spec's grid on the engine and renders the CSV,
+// the stderr summary and the exit status.
+func sweep(spec Spec, opt options, w, errOut io.Writer) error {
+	p, err := plan(spec)
+	if err != nil {
 		return err
 	}
 
-	manifest := runner.BuildManifest(outcomes)
-	st := store.Stats()
+	eng := engine.New(engine.Config{
+		Workers:          opt.jobs,
+		Timeout:          opt.timeout,
+		Retries:          opt.retries,
+		KeepGoing:        opt.keepGoing,
+		TraceBudgetBytes: engine.TraceBudgetMB(opt.traceCacheMB),
+	})
+	sum, runErr := eng.Execute(context.Background(), p, engine.ExecOptions{
+		CheckpointPath: opt.checkpointPath,
+		Resume:         opt.resume,
+		FailuresPath:   opt.failuresOut,
+		Log:            errOut,
+	}, engine.NewCSV(w))
+
+	if runErr != nil && sum.Manifest.TotalCells == 0 {
+		// Setup failed before any cell ran (unopenable journal or
+		// manifest, unkeyable cell): no summary to report.
+		return runErr
+	}
+
+	st := sum.Store
 	fmt.Fprintf(errOut,
 		"sweep: %d cells (%d ok, %d failed, %d resumed); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted\n",
-		manifest.TotalCells, manifest.Succeeded, len(manifest.Failed), nResumed.Load(),
+		sum.Manifest.TotalCells, sum.Manifest.Succeeded, len(sum.Manifest.Failed), sum.Resumed,
 		st.Generated, st.Hits, st.Misses, float64(st.BytesInUse)/(1<<20), st.Evictions)
-	if journal != nil {
+	if opt.checkpointPath != "" {
 		fmt.Fprintf(errOut, "checkpoint: %d cells appended to %s (%d resumed, %d corrupt bytes discarded)\n",
-			journal.Appended(), opt.checkpointPath, nResumed.Load(), discarded)
-	}
-	if mlog != nil {
-		if err := mlog.Finalize(manifest); err != nil {
-			return fmt.Errorf("writing failure manifest %s: %w", opt.failuresOut, err)
-		}
+			sum.CheckpointAppended, opt.checkpointPath, sum.Resumed, sum.CheckpointDiscarded)
 	}
 
 	if runErr != nil {
@@ -506,8 +324,8 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 		}
 		return runErr
 	}
-	if n := len(manifest.Failed); n > 0 {
-		return fmt.Errorf("%d of %d cells failed (see failure manifest%s)", n, manifest.TotalCells, manifestHint(opt.failuresOut))
+	if n := len(sum.Manifest.Failed); n > 0 {
+		return fmt.Errorf("%d of %d cells failed (see failure manifest%s)", n, sum.Manifest.TotalCells, manifestHint(opt.failuresOut))
 	}
 	return nil
 }
@@ -517,25 +335,4 @@ func manifestHint(path string) string {
 		return "; pass -failures-out to save it"
 	}
 	return " in " + path
-}
-
-// row renders one successful cell's CSV record.
-func row(machine, app string, seed uint64, rep sim.RunReport) []string {
-	bd := rep.Energy.L2
-	return []string{
-		machine, app, strconv.FormatUint(seed, 10),
-		strconv.FormatUint(rep.CPU.Accesses, 10),
-		fmt.Sprintf("%.6f", rep.IPC()),
-		fmt.Sprintf("%.6f", rep.L2.MissRate()),
-		fmt.Sprintf("%.6f", rep.L2.KernelShare()),
-		fmt.Sprintf("%.6g", bd.ReadJ),
-		fmt.Sprintf("%.6g", bd.WriteJ),
-		fmt.Sprintf("%.6g", bd.LeakageJ),
-		fmt.Sprintf("%.6g", bd.RefreshJ),
-		fmt.Sprintf("%.6g", bd.Total()),
-		strconv.FormatUint(rep.DRAMReads, 10),
-		strconv.FormatUint(rep.DRAMWrites, 10),
-		fmt.Sprintf("%.6g", rep.Energy.TotalJ()),
-		strconv.FormatUint(rep.L2PoweredBytes, 10),
-	}
 }

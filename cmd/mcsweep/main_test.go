@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"mobilecache/internal/engine"
 	"mobilecache/internal/sim"
 )
 
@@ -203,12 +204,12 @@ func TestMachineForSchemeFirst(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer os.Chdir(wd)
-	m, err := machineFor("sp-mr")
+	m, err := engine.ResolveMachine("sp-mr")
 	if err != nil || m.Name != "sp-mr" {
-		t.Fatalf("machineFor(sp-mr) = %v, %v; want the standard scheme", m.Name, err)
+		t.Fatalf("engine.ResolveMachine(sp-mr) = %v, %v; want the standard scheme", m.Name, err)
 	}
 	// A dotted non-scheme, non-file entry fails loudly with both facts.
-	_, err = machineFor("sp-mr.v2")
+	_, err = engine.ResolveMachine("sp-mr.v2")
 	if err == nil {
 		t.Fatal("sp-mr.v2 accepted")
 	}

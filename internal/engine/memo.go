@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"mobilecache/internal/checkpoint"
+	"mobilecache/internal/sim"
+)
+
+// DefaultMemoCapacity is the run-memo entry bound when Config leaves
+// MemoCapacity at zero. Reports are small (a few KB with dynamic
+// partition history), so a thousand entries comfortably covers a full
+// mcbench run's repeated (machine, app, seed) cells.
+const DefaultMemoCapacity = 1024
+
+// memo is the bounded per-engine run memo. It replaces the old
+// process-global sync.Map in internal/experiments, fixing that cache's
+// two defects: it keyed on names — so a modified profile or machine
+// config under an unchanged name was served a stale report — and it
+// grew without bound. Keys here are the same content hashes the
+// checkpoint journal uses (checkpoint.KeyOf over the machine config,
+// profile, seed and run lengths), and an LRU bound evicts the coldest
+// entry once capacity is reached.
+type memo struct {
+	mu  sync.Mutex
+	cap int
+	// order is an LRU list of *memoEntry, most recent first; byKey
+	// indexes it.
+	order *list.List
+	byKey map[checkpoint.Key]*list.Element
+}
+
+type memoEntry struct {
+	key checkpoint.Key
+	rep sim.RunReport
+}
+
+// newMemo builds a memo with the Config.MemoCapacity semantics:
+// capacity > 0 as given, 0 the default, < 0 disabled.
+func newMemo(capacity int) *memo {
+	if capacity == 0 {
+		capacity = DefaultMemoCapacity
+	}
+	if capacity < 0 {
+		return &memo{} // disabled: get always misses, add is a no-op
+	}
+	return &memo{cap: capacity, order: list.New(), byKey: make(map[checkpoint.Key]*list.Element)}
+}
+
+// get returns the memoized report for key, refreshing its recency.
+func (m *memo) get(key checkpoint.Key) (sim.RunReport, bool) {
+	if m.cap == 0 {
+		return sim.RunReport{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		return sim.RunReport{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoEntry).rep, true
+}
+
+// add memoizes one successful run, evicting the least recently used
+// entry when over capacity. Duplicate adds (two workers racing the
+// same cell) collapse to one entry; the reports are identical because
+// runs are deterministic.
+func (m *memo) add(key checkpoint.Key, rep sim.RunReport) {
+	if m.cap == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.order.MoveToFront(el)
+		return
+	}
+	m.byKey[key] = m.order.PushFront(&memoEntry{key: key, rep: rep})
+	for m.order.Len() > m.cap {
+		el := m.order.Back()
+		m.order.Remove(el)
+		delete(m.byKey, el.Value.(*memoEntry).key)
+	}
+}
+
+// len reports the live entry count (for tests).
+func (m *memo) len() int {
+	if m.cap == 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mobilecache/internal/sim"
+	"mobilecache/internal/workload"
+)
+
+// TestMemoContentHashNoStaleness is the regression test for the bug
+// the engine memo fixes: the old experiments run-cache keyed on names,
+// so a machine config or app profile modified under an unchanged name
+// was served a stale report. The memo keys on the content hash, so
+// the perturbed inputs must produce a genuinely different report.
+func TestMemoContentHashNoStaleness(t *testing.T) {
+	eng := New(Config{})
+	cfg, err := sim.MachineByName("baseline-sram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := workload.Profiles()[0]
+	cell := Cell{Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: prof, Seed: 1}
+	base, err := eng.RunOne(context.Background(), cell, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same names, different config content: halve the L2 ways (deep
+	// copy — Machine holds its segments by pointer).
+	smaller := cfg
+	seg := *cfg.Unified
+	seg.Ways /= 2
+	smaller.Unified = &seg
+	got, err := eng.RunOne(context.Background(), Cell{
+		Machine: cfg.Name, Config: smaller, App: prof.Name, Profile: prof, Seed: 1,
+	}, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(got, base) {
+		t.Fatal("modified config under the same name was served the stale cached report")
+	}
+	want, err := sim.RunWorkload(smaller, prof, 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("modified-config report diverges from direct simulation")
+	}
+
+	// Same names, different profile content: shift the kernel share.
+	hotKernel := prof
+	hotKernel.KernelShare = prof.KernelShare + 0.2
+	got2, err := eng.RunOne(context.Background(), Cell{
+		Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: hotKernel, Seed: 1,
+	}, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(got2, base) {
+		t.Fatal("modified profile under the same name was served the stale cached report")
+	}
+	if eng.memo.len() != 3 {
+		t.Fatalf("memo holds %d entries, want 3 distinct content hashes", eng.memo.len())
+	}
+}
+
+// TestMemoBounded: the memo is an LRU with a hard capacity; filling it
+// past capacity evicts the least recently used key rather than growing.
+func TestMemoBounded(t *testing.T) {
+	m := newMemo(3)
+	key := func(i int) [32]byte {
+		var k [32]byte
+		k[0] = byte(i)
+		return k
+	}
+	rep := func(i int) sim.RunReport {
+		return sim.RunReport{Machine: fmt.Sprintf("m%d", i)}
+	}
+	for i := 0; i < 5; i++ {
+		m.add(key(i), rep(i))
+	}
+	if m.len() != 3 {
+		t.Fatalf("memo grew to %d entries past capacity 3", m.len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := m.get(key(i)); ok {
+			t.Errorf("key %d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if r, ok := m.get(key(i)); !ok || r.Machine != fmt.Sprintf("m%d", i) {
+			t.Errorf("key %d missing or wrong after fill", i)
+		}
+	}
+}
+
+// TestMemoLRUTouchOnGet: a get refreshes recency, changing which key
+// the next insertion evicts.
+func TestMemoLRUTouchOnGet(t *testing.T) {
+	m := newMemo(2)
+	var a, b, c [32]byte
+	a[0], b[0], c[0] = 1, 2, 3
+	m.add(a, sim.RunReport{Machine: "a"})
+	m.add(b, sim.RunReport{Machine: "b"})
+	if _, ok := m.get(a); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	m.add(c, sim.RunReport{Machine: "c"}) // evicts b
+	if _, ok := m.get(b); ok {
+		t.Error("b should have been evicted after a was touched")
+	}
+	if _, ok := m.get(a); !ok {
+		t.Error("a should have survived")
+	}
+}
+
+// TestMemoDisabled: negative capacity turns memoization off entirely.
+func TestMemoDisabled(t *testing.T) {
+	m := newMemo(-1)
+	var k [32]byte
+	m.add(k, sim.RunReport{Machine: "x"})
+	if _, ok := m.get(k); ok {
+		t.Fatal("disabled memo returned a hit")
+	}
+	if m.len() != 0 {
+		t.Fatalf("disabled memo holds %d entries", m.len())
+	}
+
+	eng := New(Config{MemoCapacity: -1})
+	cfg, err := sim.MachineByName("baseline-sram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := workload.Profiles()[0]
+	cell := Cell{Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: prof, Seed: 1}
+	if _, err := eng.RunOne(context.Background(), cell, 2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Execute(context.Background(),
+		Plan{Cells: []Cell{cell}, Accesses: 2000}, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Memoized != 0 {
+		t.Fatal("memo-disabled engine reported a memo hit")
+	}
+}
+
+// TestMemoDefaultCapacity: zero means the default, not unbounded and
+// not disabled.
+func TestMemoDefaultCapacity(t *testing.T) {
+	if m := newMemo(0); m.cap != DefaultMemoCapacity {
+		t.Fatalf("newMemo(0).cap = %d, want %d", m.cap, DefaultMemoCapacity)
+	}
+}

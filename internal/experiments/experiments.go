@@ -15,13 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"mobilecache/internal/config"
+	"mobilecache/internal/engine"
 	"mobilecache/internal/report"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sim"
-	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
 )
 
@@ -33,31 +32,38 @@ type Options struct {
 	Seed uint64
 	// Apps are the application profiles to evaluate.
 	Apps []workload.Profile
-	// TraceStore supplies memoized packed traces to every simulation in
-	// the run; nil selects the package-shared default store. Results are
-	// independent of the store (cached replay is bit-identical to
-	// generation) — it only removes redundant generator work.
-	TraceStore *tracestore.Store
+	// Engine executes every simulation of the run — it supplies the
+	// shared trace arena and the content-hash run memo; nil selects the
+	// package-shared default engine. Results are independent of the
+	// engine (memoized and cached-replay runs are bit-identical to
+	// fresh ones) — it only removes redundant work.
+	Engine *engine.Engine
 }
 
-// defaultTraceStore backs every experiment run that does not bring its
-// own store, so traces are shared across experiments within a process
-// (mcbench runs E1..T3 back to back over the same apps).
-var defaultTraceStore = tracestore.New(tracestore.DefaultBudgetBytes)
+// defaultEngine backs every experiment run that does not bring its own
+// engine, so traces and memoized cells are shared across experiments
+// within a process (mcbench runs E1..T3 back to back over the same
+// apps).
+var defaultEngine = engine.New(engine.Config{})
 
-// store resolves the effective trace store for the run.
-func (o Options) store() *tracestore.Store {
-	if o.TraceStore != nil {
-		return o.TraceStore
+// eng resolves the effective engine for the run.
+func (o Options) eng() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
 	}
-	return defaultTraceStore
+	return defaultEngine
 }
 
-// runWorkload is the store-aware simulation entry every experiment
+// runWorkload is the engine-backed simulation entry every experiment
 // uses: identical results to sim.RunWorkload, minus the redundant
-// trace regeneration.
+// trace regeneration and re-simulation. The engine memo keys on a
+// content hash of the machine config and profile, so experiments that
+// perturb a config or profile under an unchanged name always get a
+// fresh run.
 func runWorkload(opts Options, cfg config.Machine, app workload.Profile, seed uint64) (sim.RunReport, error) {
-	return sim.RunWorkloadFrom(opts.store(), cfg, app, seed, opts.Accesses)
+	return opts.eng().RunOne(context.Background(), engine.Cell{
+		Machine: cfg.Name, Config: cfg, App: app.Name, Profile: app, Seed: seed,
+	}, opts.Accesses, 0)
 }
 
 // DefaultOptions is the full-size configuration cmd/mcbench uses.
@@ -182,63 +188,44 @@ func appSeed(base uint64, appIndex int) uint64 {
 	return base*1_000_003 + uint64(appIndex)*7919
 }
 
-// runCache memoizes standard-machine runs within the process. Several
-// experiments (E7, E8, T2, T3) share the same (machine, app, seed,
-// accesses) simulations; since every run is deterministic, caching is
-// transparent and cuts a full mcbench sweep substantially.
-var runCache sync.Map // cacheKey -> sim.RunReport
-
-type cacheKey struct {
-	machine  string
-	app      string
-	seed     uint64
-	accesses int
-}
-
-// cachedRun runs a standard machine on an app, memoized. The underlying
-// trace comes from the run's trace store, so even a cache miss only
-// pays replay, not regeneration, once any machine has simulated the
-// same (app, seed, accesses).
+// cachedRun runs a standard machine on an app through the engine. The
+// engine's bounded run memo makes repeats free: several experiments
+// (E7, E8, T2, T3) share the same (machine, app, seed, accesses)
+// cells, and since every run is deterministic, memoization is
+// transparent and cuts a full mcbench sweep substantially. Unlike the
+// old package-global cache this memo keys on the content hash
+// internal/checkpoint.KeyOf computes, so it can never serve a stale
+// report for modified inputs, and it is bounded.
 func cachedRun(opts Options, machineName string, app workload.Profile, seed uint64) (sim.RunReport, error) {
-	key := cacheKey{machineName, app.Name, seed, opts.Accesses}
-	if v, ok := runCache.Load(key); ok {
-		return v.(sim.RunReport), nil
-	}
 	cfg, err := sim.MachineByName(machineName)
 	if err != nil {
 		return sim.RunReport{}, err
 	}
-	rep, err := runWorkload(opts, cfg, app, seed)
-	if err != nil {
-		return sim.RunReport{}, err
-	}
-	runCache.Store(key, rep)
-	return rep, nil
+	return runWorkload(opts, cfg, app, seed)
 }
 
-// matrix runs every app on every named standard machine, in parallel
-// across the machine x app grid on the bounded, panic-containing
-// worker pool from internal/runner. Reports are keyed [machine][app].
-// Results are deterministic regardless of scheduling: each cell is an
-// independent cold-machine simulation (memoized by cachedRun) and
-// outcomes are collected in cell order.
+// matrix runs every app on every named standard machine through the
+// engine's bounded, panic-containing worker pool. Reports are keyed
+// [machine][app]. Results are deterministic regardless of scheduling:
+// each cell is an independent cold-machine simulation (memoized by
+// the engine) and the collector receives outcomes in cell order.
 func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunReport, error) {
-	profiles := make(map[string]workload.Profile, len(opts.Apps))
-	var cells []runner.Cell
+	var cells []engine.Cell
 	for _, name := range machineNames {
-		if _, err := sim.MachineByName(name); err != nil {
+		cfg, err := sim.MachineByName(name)
+		if err != nil {
 			return nil, err
 		}
 		for i, app := range opts.Apps {
-			profiles[app.Name] = app
-			cells = append(cells, runner.Cell{Machine: name, App: app.Name, Seed: appSeed(opts.Seed, i)})
+			cells = append(cells, engine.Cell{
+				Machine: name, Config: cfg, App: app.Name, Profile: app, Seed: appSeed(opts.Seed, i),
+			})
 		}
 	}
 
-	outcomes, err := runner.Run(context.Background(), runner.Config{}, cells,
-		func(_ context.Context, c runner.Cell) (sim.RunReport, error) {
-			return cachedRun(opts, c.Machine, profiles[c.App], c.Seed)
-		})
+	col := engine.NewCollector()
+	_, err := opts.eng().Execute(context.Background(),
+		engine.Plan{Cells: cells, Accesses: opts.Accesses}, engine.ExecOptions{}, col)
 	if err != nil {
 		var re *runner.RunError
 		if errors.As(err, &re) {
@@ -246,15 +233,7 @@ func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunR
 		}
 		return nil, err
 	}
-
-	out := make(map[string]map[string]sim.RunReport, len(machineNames))
-	for _, name := range machineNames {
-		out[name] = make(map[string]sim.RunReport, len(opts.Apps))
-	}
-	for _, o := range outcomes {
-		out[o.Cell.Machine][o.Cell.App] = o.Value
-	}
-	return out, nil
+	return col.ByMachine, nil
 }
 
 // appNames lists the option's app names in order.

@@ -1,0 +1,51 @@
+// Package profiling wires the optional pprof outputs shared by the
+// command-line front ends (mcsweep, mcbench): a CPU profile covering
+// the run and a heap snapshot taken after a GC at the end.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles (empty paths are skipped) and
+// returns the function that finalizes them: it stops the CPU profile
+// and snapshots the steady-state heap. Callers must run stop even on
+// error paths, and must surface its error — a truncated profile file
+// should fail the run.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var ferr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			ferr = cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return ferr
+	}, nil
+}

@@ -78,6 +78,13 @@ func Audit(rep RunReport) []invariant.Violation {
 	return invariant.Auditor{}.Check(auditView(rep))
 }
 
+// ApplyAudit runs the active audit policy over a report produced
+// outside the workload entry points — a raw RunTrace replay of a
+// captured trace file, say. (RunWorkload and friends audit
+// automatically; calling this on their reports would double-count
+// warn-mode statistics.)
+func ApplyAudit(rep RunReport) (RunReport, error) { return auditExit(rep, nil) }
+
 // warnLogged caps warn-mode log spam: after warnLogCap violating
 // reports the audit keeps counting but stops printing.
 var warnLogged atomic.Uint64

@@ -22,6 +22,8 @@
 package tracestore
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"unsafe"
@@ -40,6 +42,11 @@ const DefaultBudgetBytes = 256 << 20
 type Key struct {
 	// Profile is the workload profile name.
 	Profile string
+	// Digest is a content hash of the whole profile. The name alone is
+	// not a safe identity: a profile modified under an unchanged name
+	// (an experiment perturbing burst lengths, say) would otherwise
+	// replay the stale trace generated for the original.
+	Digest [sha256.Size]byte
 	// Seed drives the generator.
 	Seed uint64
 	// PhaseLen is the per-phase access count (see workload.PhaseLen).
@@ -51,8 +58,13 @@ type Key struct {
 // KeyFor derives the store key a full-trace run of prof uses, applying
 // the same phase-length rule as sim.RunWorkload.
 func KeyFor(prof workload.Profile, seed uint64, accesses int) Key {
+	// Profiles are plain data; marshal only fails for non-finite
+	// floats, which the generator rejects anyway — such a key can never
+	// reach a usable trace, so a zero digest is harmless.
+	b, _ := json.Marshal(prof)
 	return Key{
 		Profile:  prof.Name,
+		Digest:   sha256.Sum256(b),
 		Seed:     seed,
 		PhaseLen: workload.PhaseLen(prof, accesses),
 		Accesses: accesses,

@@ -270,3 +270,50 @@ func TestGenerationErrorNotCached(t *testing.T) {
 		t.Fatal("non-positive accesses did not error")
 	}
 }
+
+// TestContentDigestKeysDistinctProfiles is the staleness regression:
+// two profiles sharing a name but differing in content must generate
+// two distinct traces — the key's content digest, not the name, is the
+// profile's identity.
+func TestContentDigestKeysDistinctProfiles(t *testing.T) {
+	prof := testProfile("app")
+	hot := prof
+	hot.KernelShare = 0.7 // same name, different content
+
+	if KeyFor(prof, 7, 5000) == KeyFor(hot, 7, 5000) {
+		t.Fatal("content-modified profile produced an equal store key")
+	}
+
+	s := New(0)
+	a, err := s.Get(prof, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Get(hot, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Generated != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want two generations and no hits", st)
+	}
+	ca, cb := a.Cursor(), b.Cursor()
+	same := true
+	for {
+		ra, oka := ca.Next()
+		rb, okb := cb.Next()
+		if oka != okb {
+			same = false
+			break
+		}
+		if !oka {
+			break
+		}
+		if ra != rb {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("modified profile replayed the stale trace")
+	}
+}
