@@ -8,28 +8,34 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: vet, the full test suite, a
-# race-enabled short pass (the engine/runner/chaos tests are where
-# races would hide), fuzz smokes over the crash-recovery scanner and the
-# invariant auditor, and the golden-audit gate (the quick experiment
-# matrix must be conservation-clean under strict audit).
+# check is the pre-commit gate: gofmt cleanliness, vet, the full test
+# suite, a race-enabled short pass (the engine/runner/chaos tests are
+# where races would hide), fuzz smokes over the crash-recovery scanner
+# and the invariant auditor, the golden-audit gate (the quick
+# experiment matrix must be conservation-clean under strict audit) and
+# the sampling validation gate (1/8 set sampling within 2% on every
+# standard machine).
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/checkpoint/ ./internal/invariant/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
+	$(GO) test -run TestSampleValidationQuickMatrix -count=1 ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# bench-json regenerates BENCH_PR4.json, the pipeline performance
-# evidence (replay ns+allocs per access, quick-matrix speedup of the
-# engine's shared arena vs a trace-regenerating baseline).
+# bench-json regenerates BENCH_PR4.json (pipeline performance: replay
+# ns+allocs per access, quick-matrix speedup of the engine's shared
+# arena vs a trace-regenerating baseline) and BENCH_PR5.json (set
+# sampling: quick-matrix speedup and validation errors at 1/8).
 bench-json:
-	MC_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON -count=1 -v .
+	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSON|TestEmitBenchJSONPR5' -count=1 -v .
 
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:

@@ -19,6 +19,15 @@
 // once. -cpuprofile and -memprofile write pprof profiles of the run.
 // -audit selects the invariant-audit mode for every simulation (off,
 // warn or strict; see internal/invariant).
+//
+// -sample runs every experiment set-sampled (e.g. -sample 1/8
+// simulates one in eight cache-set groups and scales the reports back
+// to full-cache estimates) — a near-linear speedup with bounded error;
+// see EXPERIMENTS.md for the measured bounds. -sample-validate runs
+// the sampled-vs-exact comparison grid for the chosen spec instead of
+// the experiments, prints the per-machine relative errors and the
+// wall-clock speedup, and exits non-zero if any machine breaches the
+// 2% tolerance.
 package main
 
 import (
@@ -28,12 +37,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mobilecache/internal/engine"
 	"mobilecache/internal/experiments"
 	"mobilecache/internal/profiling"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/workload"
 )
+
+// validateTolerance is the relative-error bound -sample-validate
+// enforces per machine on both headline metrics (L2 miss rate, total
+// energy) — the bound EXPERIMENTS.md documents for the shipped specs.
+const validateTolerance = 0.02
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -54,10 +70,25 @@ func run(args []string, out io.Writer) error {
 	svgDir := fs.String("svg", "", "directory to write SVG figures")
 	traceCacheMB := fs.Int("trace-cache-mb", 256, "trace arena LRU budget in MB (0 = unlimited)")
 	audit := fs.String("audit", "warn", "invariant audit mode: off, warn or strict")
+	sampleArg := fs.String("sample", "", `set-sampling spec, e.g. "1/8" or "hash:1/8" (default: exact simulation)`)
+	sampleValidate := fs.Bool("sample-validate", false, "run the sampled-vs-exact validation grid instead of the experiments")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile here")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var sampleSpec sample.Spec
+	if *sampleArg != "" {
+		var err error
+		sampleSpec, err = sample.Parse(*sampleArg)
+		if err != nil {
+			return fmt.Errorf("-sample: %w", err)
+		}
+	}
+	if *sampleValidate && !sampleSpec.Enabled() {
+		// Validating the default spec without -sample keeps the common
+		// invocation short: mcbench -sample-validate.
+		sampleSpec = sample.Spec{Factor: 8}
 	}
 	restoreAudit, err := engine.ApplyAudit(*audit)
 	if err != nil {
@@ -87,6 +118,7 @@ func run(args []string, out io.Writer) error {
 		Seed:     *seed,
 		Apps:     workload.Profiles(),
 		Engine:   engine.New(engine.Config{TraceBudgetBytes: engine.TraceBudgetMB(*traceCacheMB)}),
+		Sample:   sampleSpec,
 	}
 	if *apps != "" {
 		opts.Apps = nil
@@ -97,6 +129,10 @@ func run(args []string, out io.Writer) error {
 			}
 			opts.Apps = append(opts.Apps, p)
 		}
+	}
+
+	if *sampleValidate {
+		return runSampleValidate(opts, sampleSpec, out)
 	}
 
 	ids := experiments.IDs()
@@ -145,6 +181,36 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
+}
+
+// runSampleValidate executes the sampled-vs-exact comparison grid
+// (every standard machine × the selected apps × two seed bases) and
+// renders the per-machine error table, the wall-clock speedup and the
+// verdict. A tolerance breach is the returned error, so the process
+// exits non-zero — the same contract CI relies on.
+func runSampleValidate(opts experiments.Options, spec sample.Spec, out io.Writer) error {
+	opts.Sample = sample.Spec{} // the helper runs both arms itself
+	v, err := experiments.ValidateSample(opts, spec, validateTolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sampling validation: spec %s, %d apps x 2 seed bases, %d accesses/app\n\n",
+		v.Spec, len(opts.Apps), opts.Accesses)
+	fmt.Fprintf(out, "%-16s %12s %12s %8s %13s %13s %8s\n",
+		"machine", "mr(full)", "mr(sampled)", "err", "E(full) J", "E(sampled) J", "err")
+	for _, m := range v.Machines {
+		fmt.Fprintf(out, "%-16s %12.4f %12.4f %7.2f%% %13.4e %13.4e %7.2f%%\n",
+			m.Machine, m.FullMissRate, m.SampledMissRate, 100*m.MissRateRelErr,
+			m.FullEnergyJ, m.SampledEnergyJ, 100*m.EnergyRelErr)
+	}
+	fmt.Fprintf(out, "\nwall clock: full %v, sampled %v (%.1fx speedup)\n",
+		v.FullWall.Round(time.Millisecond), v.SampledWall.Round(time.Millisecond), v.Speedup())
+	if err := v.Err(); err != nil {
+		fmt.Fprintf(out, "FAIL: %v\n", err)
+		return err
+	}
+	fmt.Fprintf(out, "PASS: every machine within %.1f%% on both metrics\n", 100*validateTolerance)
 	return nil
 }
 

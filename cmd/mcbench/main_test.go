@@ -104,3 +104,36 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// -sample runs experiments sampled; -sample-validate runs the
+// sampled-vs-exact grid and reports PASS with a speedup line. Both are
+// part of PR 5's sampling surface.
+func TestSampleFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "E5", "-accesses", "8000", "-apps", "browser", "-sample", "1/8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("sampled experiment produced no output")
+	}
+	for _, bad := range []string{"3", "1/0", "junk"} {
+		if err := run([]string{"-experiment", "E5", "-sample", bad}, &out); err == nil {
+			t.Errorf("-sample %q accepted", bad)
+		}
+	}
+	// 20k accesses: below that, cold-start transients dominate the
+	// energy estimate and the grid legitimately breaches the bound
+	// (EXPERIMENTS.md documents the trace-length sensitivity).
+	out.Reset()
+	err = run([]string{"-sample-validate", "-accesses", "20000", "-apps", "browser,music", "-audit", "strict"}, &out)
+	if err != nil {
+		t.Fatalf("sample-validate failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"spec 1/8", "speedup", "PASS", "dp-sr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sample-validate output missing %q:\n%s", want, s)
+		}
+	}
+}

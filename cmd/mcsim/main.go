@@ -8,14 +8,22 @@
 // Usage:
 //
 //	mcsim [-machine name | -config file.json] [-app name | -trace file]
-//	      [-accesses n] [-seed s] [-audit off|warn|strict] [-dump-config]
+//	      [-accesses n] [-seed s] [-audit off|warn|strict] [-sample spec]
+//	      [-dump-config]
 //
 // Examples:
 //
 //	mcsim -machine sp-mr -app browser -accesses 400000
 //	mcsim -config mymachine.json -trace captured.mctr
 //	mcsim -machine dp-sr -app music -audit strict
+//	mcsim -machine sp -app browser -sample 1/8   # set-sampled estimate
 //	mcsim -machine dp -dump-config   # print the JSON for editing
+//
+// -sample runs the simulation set-sampled (internal/sample): "1/8"
+// simulates one in eight cache-set groups and scales the report back
+// to a full-cache estimate (the report then carries a "sampling" row).
+// It applies to generated apps and trace-file replays alike; error
+// bounds are documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"mobilecache/internal/config"
 	"mobilecache/internal/engine"
 	"mobilecache/internal/report"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/trace"
 	"mobilecache/internal/workload"
@@ -50,9 +59,18 @@ func run(args []string, out io.Writer) error {
 	accesses := fs.Int("accesses", 400_000, "accesses to simulate (0 = whole trace)")
 	seed := fs.Uint64("seed", 1, "workload generator seed")
 	audit := fs.String("audit", "warn", "invariant audit mode: off, warn or strict")
+	sampleArg := fs.String("sample", "", `set-sampling spec, e.g. "1/8" or "hash:1/8" (default: exact simulation)`)
 	dump := fs.Bool("dump-config", false, "print the machine config as JSON and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var spec sample.Spec
+	if *sampleArg != "" {
+		var err error
+		spec, err = sample.Parse(*sampleArg)
+		if err != nil {
+			return fmt.Errorf("-sample: %w", err)
+		}
 	}
 
 	cfg, err := sim.MachineByName(*machine)
@@ -77,7 +95,7 @@ func run(args []string, out io.Writer) error {
 
 	var rep sim.RunReport
 	if *tracePath != "" {
-		rep, err = replayTraceFile(cfg, *tracePath, uint64(*accesses))
+		rep, err = replayTraceFile(cfg, *tracePath, uint64(*accesses), spec)
 	} else {
 		if *accesses <= 0 {
 			return fmt.Errorf("-accesses must be positive with a generated workload")
@@ -87,9 +105,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err = engine.New(engine.Config{}).RunOne(context.Background(), engine.Cell{
+		rep, err = engine.New(engine.Config{}).RunOneSampled(context.Background(), engine.Cell{
 			Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: prof, Seed: *seed,
-		}, *accesses, 0)
+		}, *accesses, 0, spec)
 	}
 	if err != nil {
 		return err
@@ -99,9 +117,11 @@ func run(args []string, out io.Writer) error {
 
 // replayTraceFile drives a captured trace straight through the
 // simulator (a file replay has no profile identity for the shared
-// arena) and applies the process audit mode to the result.
-func replayTraceFile(cfg config.Machine, path string, maxAccesses uint64) (sim.RunReport, error) {
-	m, err := sim.Build(cfg)
+// arena) and applies the process audit mode to the result. An enabled
+// sampling spec replays the trace through the sampled machine and
+// scales the report, exactly as the engine does for generated apps.
+func replayTraceFile(cfg config.Machine, path string, maxAccesses uint64, spec sample.Spec) (sim.RunReport, error) {
+	m, err := sim.BuildSampled(cfg, spec)
 	if err != nil {
 		return sim.RunReport{}, err
 	}
@@ -115,11 +135,17 @@ func replayTraceFile(cfg config.Machine, path string, maxAccesses uint64) (sim.R
 			fmt.Fprintln(os.Stderr, "mcsim: trace warning:", r.Err())
 		}
 	}()
-	return sim.ApplyAudit(sim.RunTrace(m, path, r, maxAccesses))
+	// RunSampledTrace audits internally (raw counters before scaling),
+	// so no ApplyAudit wrapper here — double-auditing a scaled report
+	// would check different numbers than the run produced.
+	return sim.RunSampledTrace(m, path, r, maxAccesses)
 }
 
 func printReport(out io.Writer, rep sim.RunReport) error {
 	tb := report.NewTable(fmt.Sprintf("mcsim: %s on %s", rep.Workload, rep.Machine), "metric", "value")
+	if rep.SampleFactor > 1 {
+		tb.AddRow("sampling", fmt.Sprintf("1/%d of set groups (scaled estimate)", rep.SampleFactor))
+	}
 	tb.AddRow("accesses", fmt.Sprint(rep.CPU.Accesses))
 	tb.AddRow("instructions", fmt.Sprint(rep.CPU.Instructions))
 	tb.AddRow("cycles", fmt.Sprint(rep.CPU.Cycles))

@@ -108,6 +108,59 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunSampleFlag: -sample runs the simulation set-sampled and the
+// report says so; malformed specs are rejected before anything runs.
+func TestRunSampleFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "sp-mr", "-app", "music", "-accesses", "40000", "-sample", "1/8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"sampling", "1/8 of set groups", "L2 energy: total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sampled output missing %q:\n%s", want, s)
+		}
+	}
+
+	for _, bad := range []string{"0", "1/0", "3", "1/3", "256", "hash:", "nonsense"} {
+		out.Reset()
+		err := run([]string{"-machine", "sp", "-app", "browser", "-accesses", "1000", "-sample", bad}, &out)
+		if err == nil || !strings.Contains(err.Error(), "-sample") {
+			t.Errorf("-sample %q returned %v, want a -sample error", bad, err)
+		}
+	}
+}
+
+// TestRunSampleTraceReplay: -sample also covers the trace-file replay
+// path and the sampled report still carries the factor row.
+func TestRunSampleTraceReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for i := 0; i < 4000; i++ {
+		if err := w.Write(trace.Access{Addr: uint64(i) * 64, Op: trace.Load, Domain: trace.User, Gap: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-accesses", "0", "-sample", "1/8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1/8 of set groups") {
+		t.Fatalf("sampled trace replay missing sampling row:\n%s", out.String())
+	}
+}
+
 // TestRunAuditFlag: -audit gates every mcsim path the way it does for
 // mcbench/mcsweep — bad modes are rejected up front, strict mode turns
 // a miscounted report into a failure, and off mode lets it through.

@@ -49,6 +49,14 @@
 // "strict" turns them into structured failures in the manifest, "off"
 // disables checking.
 //
+// -sample runs every cell set-sampled (internal/sample): "1/8"
+// simulates one in eight cache-set groups and scales the report back
+// to a full-cache estimate; "hash:1/8" picks the groups by address
+// hash instead of low set bits. The spec is part of each cell's
+// content key, so sampled and exact cells never alias in the run memo
+// or a checkpoint journal. Error bounds are documented in
+// EXPERIMENTS.md; validate a spec with mcbench -sample-validate.
+//
 // All cells of a sweep share one trace arena (internal/tracestore):
 // rows that repeat an (app, seed) pair across machines replay the
 // cached packed trace instead of regenerating it. -trace-cache-mb
@@ -72,6 +80,7 @@ import (
 	"mobilecache/internal/engine"
 	"mobilecache/internal/profiling"
 	"mobilecache/internal/runner"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/workload"
 )
 
@@ -124,12 +133,17 @@ type options struct {
 	checkpointPath string
 	resume         bool
 	audit          string
+	sampleArg      string
+	sample         sample.Spec
 }
 
 // validate rejects nonsensical harness settings up front — a sweep
 // that would hang on zero workers or silently clamp a negative
-// deadline must fail before any cell runs.
-func (o options) validate() error {
+// deadline must fail before any cell runs. A malformed -sample spec
+// (zero, negative, or a non-power-of-two factor) is rejected here for
+// the same reason: sampling silently off — or at a factor the sampler
+// cannot index — would produce a sweep the operator did not ask for.
+func (o *options) validate() error {
 	if o.jobs < 1 {
 		return fmt.Errorf("-jobs %d is not a runnable worker count (need >= 1)", o.jobs)
 	}
@@ -147,6 +161,13 @@ func (o options) validate() error {
 	}
 	if err := engine.CheckAudit(o.audit); err != nil {
 		return fmt.Errorf("-audit: %w", err)
+	}
+	if o.sampleArg != "" {
+		spec, err := sample.Parse(o.sampleArg)
+		if err != nil {
+			return fmt.Errorf("-sample: %w", err)
+		}
+		o.sample = spec
 	}
 	return nil
 }
@@ -175,6 +196,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.StringVar(&opt.checkpointPath, "checkpoint", "", "journal completed cells to this crash-safe file")
 	fs.BoolVar(&opt.resume, "resume", false, "skip cells already completed in the -checkpoint journal")
 	fs.StringVar(&opt.audit, "audit", "warn", "invariant audit mode: off, warn or strict")
+	fs.StringVar(&opt.sampleArg, "sample", "", `set-sampling spec, e.g. "1/8" or "hash:1/8" (default: exact simulation)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,6 +308,7 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	p.Sample = opt.sample
 
 	eng := engine.New(engine.Config{
 		Workers:          opt.jobs,

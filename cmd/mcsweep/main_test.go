@@ -368,3 +368,40 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		t.Fatal("-jobs changed the CSV bytes; ordered collection broken")
 	}
 }
+
+// Satellite of PR 5: -sample validation is fail-fast. A malformed spec
+// is rejected before any cell runs, and a valid spec produces the same
+// row count as the exact sweep with a clear error otherwise.
+func TestSampleFlagValidation(t *testing.T) {
+	spec := writeSpec(t, `{
+		"machines": ["baseline-sram"],
+		"apps": ["music"],
+		"seeds": [1],
+		"accesses": 4000
+	}`)
+	for _, bad := range []string{"0", "1/0", "3", "1/3", "-8", "1/-8", "256", "1/256", "hash:", "nonsense"} {
+		var out bytes.Buffer
+		err := run([]string{"-spec", spec, "-sample", bad}, &out, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "-sample") {
+			t.Errorf("-sample %q: err = %v, want fail-fast -sample error", bad, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("-sample %q: cells ran before validation (wrote %d bytes)", bad, out.Len())
+		}
+	}
+	var exact, sampled bytes.Buffer
+	if err := run([]string{"-spec", spec, "-audit", "strict"}, &exact, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-audit", "strict", "-sample", "1/8"}, &sampled, io.Discard); err != nil {
+		t.Fatalf("sampled sweep failed: %v", err)
+	}
+	er, _ := csv.NewReader(strings.NewReader(exact.String())).ReadAll()
+	sr, err := csv.NewReader(strings.NewReader(sampled.String())).ReadAll()
+	if err != nil || len(sr) != len(er) {
+		t.Fatalf("sampled sweep rows = %d, err %v; want %d", len(sr), err, len(er))
+	}
+	if exact.String() == sampled.String() {
+		t.Error("sampled CSV is byte-identical to the exact CSV; -sample not applied")
+	}
+}

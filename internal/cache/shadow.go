@@ -3,6 +3,7 @@ package cache
 import (
 	"math/bits"
 
+	"mobilecache/internal/sample"
 	"mobilecache/internal/trace"
 )
 
@@ -22,6 +23,15 @@ type ShadowTags struct {
 	blockShift  uint
 	indexMask   uint64
 
+	// sel, when non-nil, is the set-sampling selector of the cache this
+	// directory shadows. Only the selector's live sets receive traffic,
+	// so the monitor's 1-in-2^sampleShift subsampling must be taken
+	// from the live sets, not the nominal geometry — otherwise most
+	// monitored sets would be permanently silent and the miss curves
+	// the partition controller steers by would be starved of signal.
+	sel  *sample.Selector
+	nsel uint64
+
 	// entries[sampledSet] is an LRU-ordered tag list, most recent
 	// first. Length <= ways.
 	entries [][]uint64
@@ -36,6 +46,14 @@ type ShadowTags struct {
 // associativity may exceed the real cache's so the controller can see
 // the utility of growing beyond the current allocation.
 func NewShadowTags(sets, ways, blockBytes int, sampleShift uint) *ShadowTags {
+	return NewShadowTagsSampled(sets, ways, blockBytes, sampleShift, nil)
+}
+
+// NewShadowTagsSampled mirrors a set-sampled cache: sel names the live
+// sets (nil = all), and the monitor's 1-in-2^sampleShift subsampling
+// is applied to the live sets in their dense rank order. With a
+// factor-1 selector (or nil) this reduces exactly to NewShadowTags.
+func NewShadowTagsSampled(sets, ways, blockBytes int, sampleShift uint, sel *sample.Selector) *ShadowTags {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("cache: shadow tags need a power-of-two set count")
 	}
@@ -45,10 +63,19 @@ func NewShadowTags(sets, ways, blockBytes int, sampleShift uint) *ShadowTags {
 	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
 		panic("cache: shadow tags need power-of-two block size")
 	}
-	sampled := sets >> sampleShift
+	liveSets := sets
+	if sel != nil {
+		if sets < sample.NumGroups {
+			panic("cache: sampled shadow tags need at least one set per selection group")
+		}
+		// Power of two: sets>>GroupBits and the selected-group count
+		// both are, so live-set subsampling composes with the shift.
+		liveSets = sel.LiveSets(sets)
+	}
+	sampled := liveSets >> sampleShift
 	if sampled == 0 {
 		sampled = 1
-		sampleShift = uint(bits.Len(uint(sets)) - 1)
+		sampleShift = uint(bits.Len(uint(liveSets)) - 1)
 	}
 	st := &ShadowTags{
 		ways:        ways,
@@ -59,27 +86,47 @@ func NewShadowTags(sets, ways, blockBytes int, sampleShift uint) *ShadowTags {
 		entries:     make([][]uint64, sampled),
 		hitsAtPos:   make([]uint64, ways),
 	}
+	if sel != nil {
+		st.sel = sel
+		st.nsel = uint64(sel.Groups())
+	}
 	for i := range st.entries {
 		st.entries[i] = make([]uint64, 0, ways)
 	}
 	return st
 }
 
+// liveIndex maps a set onto its dense position among the selector's
+// live sets, or -1 when the set receives no traffic. Without a
+// selector the live sets are all sets and the mapping is the identity.
+func (st *ShadowTags) liveIndex(set uint64) int64 {
+	if st.sel == nil {
+		return int64(set)
+	}
+	r := st.sel.GroupRank(int(set) & (sample.NumGroups - 1))
+	if r < 0 {
+		return -1
+	}
+	return int64(set>>sample.GroupBits)*int64(st.nsel) + int64(r)
+}
+
 // Sampled reports whether addr maps to a sampled set.
 func (st *ShadowTags) Sampled(addr uint64) bool {
 	set := (addr >> st.blockShift) & st.indexMask
-	return set&((1<<st.sampleShift)-1) == 0
+	live := st.liveIndex(set)
+	return live >= 0 && uint64(live)&((1<<st.sampleShift)-1) == 0
 }
 
 // Access records one access. Non-sampled sets are ignored.
 func (st *ShadowTags) Access(addr uint64) {
 	b := addr >> st.blockShift
 	set := b & st.indexMask
-	if set&((1<<st.sampleShift)-1) != 0 {
+	live := st.liveIndex(set)
+	if live < 0 || uint64(live)&((1<<st.sampleShift)-1) != 0 {
 		return
 	}
 	st.accesses++
-	idx := int(set >> st.sampleShift)
+	idx := int(uint64(live) >> st.sampleShift)
 	tags := st.entries[idx]
 	tag := b >> uint(bits.Len64(st.indexMask))
 	for pos, t := range tags {
@@ -164,10 +211,16 @@ type DomainMonitors struct {
 // NewDomainMonitors builds per-domain shadow directories with identical
 // geometry.
 func NewDomainMonitors(sets, ways, blockBytes int, sampleShift uint) *DomainMonitors {
+	return NewDomainMonitorsSampled(sets, ways, blockBytes, sampleShift, nil)
+}
+
+// NewDomainMonitorsSampled builds per-domain shadow directories that
+// follow a set-sampled cache's live sets (nil sel = all sets).
+func NewDomainMonitorsSampled(sets, ways, blockBytes int, sampleShift uint, sel *sample.Selector) *DomainMonitors {
 	return &DomainMonitors{
 		Mon: [trace.NumDomains]*ShadowTags{
-			trace.User:   NewShadowTags(sets, ways, blockBytes, sampleShift),
-			trace.Kernel: NewShadowTags(sets, ways, blockBytes, sampleShift),
+			trace.User:   NewShadowTagsSampled(sets, ways, blockBytes, sampleShift, sel),
+			trace.Kernel: NewShadowTagsSampled(sets, ways, blockBytes, sampleShift, sel),
 		},
 	}
 }

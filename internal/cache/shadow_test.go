@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mobilecache/internal/sample"
 	"mobilecache/internal/trace"
 )
 
@@ -196,4 +197,102 @@ func TestLog2Hist(t *testing.T) {
 	if empty.Mean() != 0 || empty.CDFBelow(5) != 0 {
 		t.Fatal("empty hist should report zeros")
 	}
+}
+
+// Regression: in sampled mode the monitor subsampling must follow the
+// live (selected) sets, not the nominal geometry. Under hash selection
+// the old predicate set&(2^shift-1)==0 leaves most monitored sets in
+// never-selected groups — permanently silent — starving the dynamic
+// controller's miss curves. The sampled constructor instead monitors
+// 1-in-2^shift of the live sets exactly.
+func TestShadowTagsSampledFollowsLiveSets(t *testing.T) {
+	const sets, ways, block = 1024, 8, 64
+	const shift = 3
+	for _, hash := range []bool{false, true} {
+		sel, err := sample.NewSelector(sample.Spec{Factor: 8, Hash: hash}, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewShadowTagsSampled(sets, ways, block, shift, sel)
+		liveSets := sel.LiveSets(sets)
+		if got, want := len(st.entries), liveSets>>shift; got != want {
+			t.Fatalf("hash %v: %d monitored sets allocated, want %d (liveSets %d >> %d)", hash, got, want, liveSets, shift)
+		}
+		// One access to every live set: exactly liveSets>>shift land in
+		// monitored sets, and every monitored set sees its access (no
+		// silent monitors).
+		for set := uint64(0); set < sets; set++ {
+			if sel.SelectsGroup(int(set) & (sample.NumGroups - 1)) {
+				st.Access(set * block)
+			}
+		}
+		if got, want := st.Accesses(), uint64(liveSets>>shift); got != want {
+			t.Fatalf("hash %v: monitors observed %d accesses, want %d", hash, got, want)
+		}
+		for i, tags := range st.entries {
+			if len(tags) != 1 {
+				t.Fatalf("hash %v: monitored set %d holds %d tags, want 1 (silent monitor)", hash, i, len(tags))
+			}
+		}
+		// Traffic to non-live sets is ignored even if it arrives.
+		before := st.Accesses()
+		for set := uint64(0); set < sets; set++ {
+			if !sel.SelectsGroup(int(set) & (sample.NumGroups - 1)) {
+				st.Access(set * block)
+			}
+		}
+		if st.Accesses() != before {
+			t.Fatalf("hash %v: non-live traffic was counted", hash)
+		}
+	}
+}
+
+// A factor-1 selector must reduce the sampled constructor to the plain
+// one: identical counters and miss curves over an arbitrary stream.
+func TestShadowTagsSampledFactorOneEquivalence(t *testing.T) {
+	sel, err := sample.NewSelector(sample.Spec{Factor: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addrs []uint32) bool {
+		plain := NewShadowTags(128, 4, 64, 2)
+		sampled := NewShadowTagsSampled(128, 4, 64, 2, sel)
+		for _, a := range addrs {
+			plain.Access(uint64(a))
+			sampled.Access(uint64(a))
+		}
+		if plain.Accesses() != sampled.Accesses() {
+			return false
+		}
+		pc, sc := plain.MissCurve(), sampled.MissCurve()
+		for i := range pc {
+			if pc[i] != sc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainMonitorsSampled(t *testing.T) {
+	sel, err := sample.NewSelector(sample.Spec{Factor: 8, Hash: true}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := NewDomainMonitorsSampled(1024, 8, 64, 3, sel)
+	for _, d := range []trace.Domain{trace.User, trace.Kernel} {
+		if dm.Mon[d].sel != sel {
+			t.Fatalf("domain %v monitor not wired to selector", d)
+		}
+	}
+	// Sampled shadow tags panic on geometries finer than the group count.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 64-set sampled shadow tags")
+		}
+	}()
+	NewShadowTagsSampled(64, 4, 64, 0, sel)
 }

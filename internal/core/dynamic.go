@@ -6,6 +6,7 @@ import (
 
 	"mobilecache/internal/cache"
 	"mobilecache/internal/energy"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/trace"
 )
 
@@ -33,6 +34,10 @@ type DynamicConfig struct {
 	// costs nothing but leakage, while powering one off discards its
 	// contents. Zero selects the default (2).
 	MaxStepPerEpoch int
+	// Sample, when non-nil, is the set-sampling selector of a sampled
+	// run: the utility monitors then subsample the live sets rather
+	// than the nominal geometry (see cache.NewDomainMonitorsSampled).
+	Sample *sample.Selector
 }
 
 // DefaultDynamicConfig returns the controller settings used by the
@@ -126,7 +131,7 @@ func NewDynamicPartition(cfg DynamicConfig, wb func(addr uint64)) (*DynamicParti
 		cfg:  cfg,
 		seg:  seg,
 		name: cfg.Segment.Name,
-		mon:  cache.NewDomainMonitors(cfg.Segment.Sets(), cfg.Segment.Ways, cfg.Segment.BlockBytes, cfg.SampleShift),
+		mon:  cache.NewDomainMonitorsSampled(cfg.Segment.Sets(), cfg.Segment.Ways, cfg.Segment.BlockBytes, cfg.SampleShift, cfg.Sample),
 	}
 	// Initial allocation: start small and grow on demand — a cold
 	// cache cannot exploit full capacity anyway, and powering it up

@@ -156,6 +156,16 @@ type SegmentConfig struct {
 	FaultBER float64
 	// FaultSeed seeds the deterministic fault draws.
 	FaultSeed uint64
+	// TimeCompress divides the retention budget by this factor (0 or 1
+	// = off). Set-sampled runs compress simulated time by the sampling
+	// factor — a 1/8 replay covers 1/8 of the instructions, hence 1/8
+	// of the cycles — so retention (and the refresh cadence derived
+	// from it) must compress identically or refresh dynamics would run
+	// 8x slow relative to the per-line access intervals. Compression
+	// happens here, at the cycle level, rather than by rewriting the
+	// config's retention seconds: ParamsForRetention couples retention
+	// to write energy, which must not change under sampling.
+	TimeCompress uint64
 }
 
 // Validate checks the segment configuration.
@@ -224,7 +234,14 @@ func newSegment(cfg SegmentConfig, wb func(addr uint64)) (*segment, error) {
 		params = *cfg.ParamsOverride
 	}
 	meter := energy.NewMeter(params, cfg.SizeBytes)
-	ctrl, err := sttram.NewController(c, meter, params.RetentionCycles, cfg.Refresh, wb)
+	retention := params.RetentionCycles
+	if cfg.TimeCompress > 1 && retention > 0 {
+		retention /= cfg.TimeCompress
+		if retention == 0 {
+			retention = 1
+		}
+	}
+	ctrl, err := sttram.NewController(c, meter, retention, cfg.Refresh, wb)
 	if err != nil {
 		return nil, err
 	}

@@ -171,6 +171,24 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 			}
 			c.stepBatch(c.buf[:n], &res, &st)
 		}
+	} else if bd, ok := src.(batchDecoder); ok {
+		// Any other bulk-decoding source (e.g. the set-sampling filter
+		// wrapping a cursor) fills the staging buffer the same way. The
+		// loop is duplicated rather than shared through a method value:
+		// binding cur.Decode to a func variable would allocate per Run.
+		for maxAccesses == 0 || res.Accesses < maxAccesses {
+			want := len(c.buf)
+			if maxAccesses != 0 {
+				if left := maxAccesses - res.Accesses; left < uint64(want) {
+					want = int(left)
+				}
+			}
+			n := bd.Decode(c.buf[:want])
+			if n == 0 {
+				break
+			}
+			c.stepBatch(c.buf[:n], &res, &st)
+		}
 	} else {
 		for maxAccesses == 0 || res.Accesses < maxAccesses {
 			want := len(c.buf)
@@ -196,6 +214,13 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 	}
 	c.hier.Advance(c.now)
 	return res
+}
+
+// batchDecoder is the bulk-fill contract sources can implement to
+// skip the per-access Source.Next round-trip without being one of the
+// two concrete cursor types.
+type batchDecoder interface {
+	Decode(dst []trace.Access) int
 }
 
 // stepState is the per-Run hot-loop state.

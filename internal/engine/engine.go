@@ -41,6 +41,7 @@ import (
 	"mobilecache/internal/checkpoint"
 	"mobilecache/internal/config"
 	"mobilecache/internal/runner"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
@@ -65,6 +66,12 @@ type Plan struct {
 	Cells    []Cell
 	Accesses int
 	Warmup   int
+	// Sample, when enabled (factor > 1), runs every cell set-sampled:
+	// 1/Factor of the cache sets are simulated and the reports are
+	// scaled back to full-run estimates. The spec is part of each
+	// cell's content key, so sampled and full results can never alias
+	// in the memo or a checkpoint journal.
+	Sample sample.Spec
 }
 
 // Validate reports plan errors before any cell runs.
@@ -74,6 +81,9 @@ func (p Plan) Validate() error {
 	}
 	if p.Warmup < 0 {
 		return fmt.Errorf("engine: negative warmup")
+	}
+	if err := p.Sample.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -190,8 +200,15 @@ func (e *Engine) Store() *tracestore.Store { return e.store }
 // keyOf hashes one cell's full inputs exactly the way the checkpoint
 // journal always has — machine config, profile, seed, accesses,
 // warmup, in that order — so pre-existing journals stay resumable and
-// the memo can never serve a report for different content.
-func keyOf(c Cell, accesses, warmup int) (checkpoint.Key, error) {
+// the memo can never serve a report for different content. An enabled
+// sampling spec appends itself to the key: a sampled estimate and a
+// full result are different content and must never alias; a disabled
+// spec appends nothing, so factor-1 keys equal the historical keys and
+// old journals resume cleanly.
+func keyOf(c Cell, accesses, warmup int, spec sample.Spec) (checkpoint.Key, error) {
+	if spec.Norm().Enabled() {
+		return checkpoint.KeyOf(c.Config, c.Profile, c.Seed, accesses, warmup, "sample", spec.Factor, spec.Hash)
+	}
 	return checkpoint.KeyOf(c.Config, c.Profile, c.Seed, accesses, warmup)
 }
 
@@ -199,20 +216,26 @@ func keyOf(c Cell, accesses, warmup int) (checkpoint.Key, error) {
 // shared trace arena, audit — without the worker pool. It is the
 // single-cell entry the experiments package and cmd/mcsim use.
 func (e *Engine) RunOne(ctx context.Context, c Cell, accesses, warmup int) (sim.RunReport, error) {
-	if err := (Plan{Accesses: accesses, Warmup: warmup}).Validate(); err != nil {
+	return e.RunOneSampled(ctx, c, accesses, warmup, sample.Spec{})
+}
+
+// RunOneSampled is RunOne under a sampling spec; a disabled spec is
+// exactly RunOne.
+func (e *Engine) RunOneSampled(ctx context.Context, c Cell, accesses, warmup int, spec sample.Spec) (sim.RunReport, error) {
+	if err := (Plan{Accesses: accesses, Warmup: warmup, Sample: spec}).Validate(); err != nil {
 		return sim.RunReport{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return sim.RunReport{}, err
 	}
-	key, err := keyOf(c, accesses, warmup)
+	key, err := keyOf(c, accesses, warmup, spec)
 	if err != nil {
 		return sim.RunReport{}, err
 	}
 	if rep, ok := e.memo.get(key); ok {
 		return rep, nil
 	}
-	rep, err := e.simulate(c, accesses, warmup)
+	rep, err := e.simulate(c, accesses, warmup, spec)
 	if err != nil {
 		return rep, err
 	}
@@ -221,7 +244,13 @@ func (e *Engine) RunOne(ctx context.Context, c Cell, accesses, warmup int) (sim.
 }
 
 // simulate is the one place a cell becomes a sim call.
-func (e *Engine) simulate(c Cell, accesses, warmup int) (sim.RunReport, error) {
+func (e *Engine) simulate(c Cell, accesses, warmup int, spec sample.Spec) (sim.RunReport, error) {
+	if spec.Norm().Enabled() {
+		if warmup > 0 {
+			return sim.RunWarmWorkloadFromSampled(e.store, c.Config, c.Profile, c.Seed, warmup, accesses, spec)
+		}
+		return sim.RunWorkloadFromSampled(e.store, c.Config, c.Profile, c.Seed, accesses, spec)
+	}
 	if warmup > 0 {
 		return sim.RunWarmWorkloadFrom(e.store, c.Config, c.Profile, c.Seed, warmup, accesses)
 	}
@@ -289,7 +318,7 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 	index := make(map[runner.Cell]int, len(plan.Cells))
 	for i, c := range plan.Cells {
 		rc := runner.Cell{Machine: c.Machine, App: c.App, Seed: c.Seed}
-		key, err := keyOf(c, plan.Accesses, plan.Warmup)
+		key, err := keyOf(c, plan.Accesses, plan.Warmup, plan.Sample)
 		if err != nil {
 			return sum, fmt.Errorf("keying cell %s: %w", rc, err)
 		}
@@ -336,7 +365,7 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 				fromResume[i] = true
 				return rep, nil
 			}
-			rep, memoized, err := e.runKeyed(plan.Cells[i], key, plan.Accesses, plan.Warmup)
+			rep, memoized, err := e.runKeyed(plan.Cells[i], key, plan.Accesses, plan.Warmup, plan.Sample)
 			if err != nil {
 				return rep, err
 			}
@@ -399,11 +428,11 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 }
 
 // runKeyed satisfies one keyed cell from the memo or the simulator.
-func (e *Engine) runKeyed(c Cell, key checkpoint.Key, accesses, warmup int) (rep sim.RunReport, memoized bool, err error) {
+func (e *Engine) runKeyed(c Cell, key checkpoint.Key, accesses, warmup int, spec sample.Spec) (rep sim.RunReport, memoized bool, err error) {
 	if rep, ok := e.memo.get(key); ok {
 		return rep, true, nil
 	}
-	rep, err = e.simulate(c, accesses, warmup)
+	rep, err = e.simulate(c, accesses, warmup, spec)
 	if err != nil {
 		return rep, false, err
 	}

@@ -20,6 +20,7 @@ import (
 	"mobilecache/internal/engine"
 	"mobilecache/internal/report"
 	"mobilecache/internal/runner"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/sim"
 	"mobilecache/internal/workload"
 )
@@ -38,6 +39,13 @@ type Options struct {
 	// engine (memoized and cached-replay runs are bit-identical to
 	// fresh ones) — it only removes redundant work.
 	Engine *engine.Engine
+	// Sample runs every simulation set-sampled at the given spec and
+	// scales the reports back to full-cache estimates — a speed/
+	// accuracy trade documented in EXPERIMENTS.md. The zero value
+	// disables sampling (exact simulation). Fault-sensitivity
+	// experiments (E21) should not be sampled: rare-event counts do
+	// not extrapolate reliably from 1/Factor of the sets.
+	Sample sample.Spec
 }
 
 // defaultEngine backs every experiment run that does not bring its own
@@ -61,9 +69,9 @@ func (o Options) eng() *engine.Engine {
 // perturb a config or profile under an unchanged name always get a
 // fresh run.
 func runWorkload(opts Options, cfg config.Machine, app workload.Profile, seed uint64) (sim.RunReport, error) {
-	return opts.eng().RunOne(context.Background(), engine.Cell{
+	return opts.eng().RunOneSampled(context.Background(), engine.Cell{
 		Machine: cfg.Name, Config: cfg, App: app.Name, Profile: app, Seed: seed,
-	}, opts.Accesses, 0)
+	}, opts.Accesses, 0, opts.Sample)
 }
 
 // DefaultOptions is the full-size configuration cmd/mcbench uses.
@@ -83,6 +91,9 @@ func (o Options) Validate() error {
 	}
 	if len(o.Apps) == 0 {
 		return fmt.Errorf("experiments: no apps selected")
+	}
+	if err := o.Sample.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -225,7 +236,7 @@ func matrix(opts Options, machineNames []string) (map[string]map[string]sim.RunR
 
 	col := engine.NewCollector()
 	_, err := opts.eng().Execute(context.Background(),
-		engine.Plan{Cells: cells, Accesses: opts.Accesses}, engine.ExecOptions{}, col)
+		engine.Plan{Cells: cells, Accesses: opts.Accesses, Sample: opts.Sample}, engine.ExecOptions{}, col)
 	if err != nil {
 		var re *runner.RunError
 		if errors.As(err, &re) {

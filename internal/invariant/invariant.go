@@ -80,6 +80,14 @@ type Report struct {
 	DRAMReads        uint64
 	DRAMWrites       uint64
 	FlushWritebacks  uint64
+
+	// SampleFactor marks a set-sampled run's report (the sampling
+	// denominator; 0 or 1 = exact full simulation). Sampled raw
+	// counters obey every conservation law an exact run does — the
+	// simulated subset is a complete machine — and uniform scaling
+	// preserves the identities, so the only sampled-specific check is
+	// that the factor itself is well-formed.
+	SampleFactor int
 }
 
 // Violation names one broken invariant in one report.
@@ -151,6 +159,11 @@ func (a Auditor) Check(r Report) []Violation {
 	var vs []Violation
 	add := func(check, format string, args ...any) {
 		vs = append(vs, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// --- sampled-mode well-formedness ---
+	if f := r.SampleFactor; f < 0 || (f > 0 && f&(f-1) != 0) {
+		add("sample.factor", "sampling factor %d is not a positive power of two", f)
 	}
 
 	// --- cache conservation: accesses = hits + misses, per domain ---

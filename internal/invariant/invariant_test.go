@@ -183,3 +183,26 @@ func TestParseMode(t *testing.T) {
 		t.Fatal("ParseMode accepted junk")
 	}
 }
+
+func TestSampleFactorCheck(t *testing.T) {
+	r := cleanReport()
+	for _, ok := range []int{0, 1, 2, 8, 128} {
+		r.SampleFactor = ok
+		if vs := (Auditor{}).Check(r); len(vs) != 0 {
+			t.Errorf("factor %d: unexpected violations %v", ok, vs)
+		}
+	}
+	for _, bad := range []int{-1, 3, 6, 100} {
+		r.SampleFactor = bad
+		vs := (Auditor{}).Check(r)
+		found := false
+		for _, v := range vs {
+			if v.Check == "sample.factor" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("factor %d: sample.factor violation not reported (got %v)", bad, vs)
+		}
+	}
+}

@@ -228,6 +228,14 @@ type Hierarchy struct {
 	// stride/next-line prefetchers; the E17 experiment checks the
 	// paper's conclusions hold with one enabled.
 	NextLinePrefetch bool
+	// SampleFilter, when set, restricts internally generated traffic to
+	// the sampled block population: the prefetcher must not fetch a
+	// block the replay filter would have dropped, or the sampled run
+	// touches sets the scaling rules assume are idle. The demand stream
+	// is filtered upstream; this guards only hierarchy-originated
+	// addresses. A func field rather than a selector type keeps mem
+	// free of a sample-package dependency.
+	SampleFilter func(blockAddr uint64) bool
 	// Prefetches counts issued prefetch fills.
 	Prefetches uint64
 
@@ -309,6 +317,9 @@ func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
 	// path (no stall), unless it is already resident.
 	if h.NextLinePrefetch && a.Op != trace.Ifetch {
 		next := blockAddr + uint64(l1.cfg.BlockBytes)
+		if h.SampleFilter != nil && !h.SampleFilter(next) {
+			return stall
+		}
 		if _, _, hit := l1.c.Probe(next); !hit {
 			h.Prefetches++
 			l1.meter.Read(1)

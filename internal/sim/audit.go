@@ -68,6 +68,7 @@ func auditView(rep RunReport) invariant.Report {
 		DRAMReads:        rep.DRAMReads,
 		DRAMWrites:       rep.DRAMWrites,
 		FlushWritebacks:  rep.FlushWritebacks,
+		SampleFactor:     rep.SampleFactor,
 	}
 }
 

@@ -13,12 +13,14 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"mobilecache/internal/config"
 	"mobilecache/internal/core"
 	"mobilecache/internal/cpu"
 	"mobilecache/internal/mem"
+	"mobilecache/internal/sample"
 	"mobilecache/internal/trace"
 	"mobilecache/internal/tracestore"
 	"mobilecache/internal/workload"
@@ -40,17 +42,103 @@ type Machine struct {
 	Unified *core.Unified
 	// Drowsy is non-nil for the drowsy-SRAM baseline.
 	Drowsy *core.DrowsyUnified
+	// Sample is non-nil for a set-sampled machine (BuildSampled with an
+	// enabled spec): replay sources must be filtered through it, and
+	// the resulting raw report covers 1/Factor of the workload.
+	Sample *sample.Selector
 }
 
 // Build assembles a runnable machine from its description.
 func Build(cfg config.Machine) (*Machine, error) {
+	return build(cfg, nil)
+}
+
+// BuildSampled assembles a set-sampled machine: only the sets the
+// spec's selector keeps receive traffic, and every time-denominated
+// machine constant (retention, refresh cadence, drowsy window, idle
+// cadence, repartition epoch) is compressed by the sampling factor to
+// match the compressed replay clock. A disabled spec (factor <= 1)
+// builds the identical machine Build does, selector-free.
+func BuildSampled(cfg config.Machine, spec sample.Spec) (*Machine, error) {
+	spec = spec.Norm()
+	if !spec.Enabled() {
+		return build(cfg, nil)
+	}
+	blockBytes, err := sampleBlockBytes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := sample.NewSelector(spec, blockBytes)
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, sel)
+}
+
+// sampleBlockBytes validates the geometry set sampling requires — one
+// common block size across every level (the selector keys on it) and
+// at least one set per selection group in every cache — and returns
+// that block size.
+func sampleBlockBytes(cfg config.Machine) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	type level struct {
+		name             string
+		blockBytes, sets int
+	}
+	levels := []level{
+		{"L1I", cfg.L1I.BlockBytes, cfg.L1I.SizeKB * 1024 / (cfg.L1I.Ways * cfg.L1I.BlockBytes)},
+		{"L1D", cfg.L1D.BlockBytes, cfg.L1D.SizeKB * 1024 / (cfg.L1D.Ways * cfg.L1D.BlockBytes)},
+	}
+	for _, s := range []*config.Segment{cfg.Unified, cfg.User, cfg.Kernel} {
+		if s != nil {
+			levels = append(levels, level{s.Name, s.BlockBytes, s.SizeKB * 1024 / (s.Ways * s.BlockBytes)})
+		}
+	}
+	blockBytes := levels[0].blockBytes
+	for _, l := range levels {
+		if l.blockBytes != blockBytes {
+			return 0, fmt.Errorf("sim: machine %s: set sampling needs one block size across levels, got %d (%s) vs %d (%s)",
+				cfg.Name, blockBytes, levels[0].name, l.blockBytes, l.name)
+		}
+		if l.sets < sample.NumGroups {
+			return 0, fmt.Errorf("sim: machine %s: %s has %d sets, set sampling needs at least %d per cache",
+				cfg.Name, l.name, l.sets, sample.NumGroups)
+		}
+	}
+	return blockBytes, nil
+}
+
+// compressCycles divides a time constant by the sampling factor,
+// keeping a nonzero constant nonzero.
+func compressCycles(v, factor uint64) uint64 {
+	if v == 0 || factor <= 1 {
+		return v
+	}
+	if v /= factor; v == 0 {
+		v = 1
+	}
+	return v
+}
+
+func build(cfg config.Machine, sel *sample.Selector) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	factor := uint64(1)
+	if sel != nil {
+		factor = uint64(sel.Factor())
+	}
+	compress := func(seg *core.SegmentConfig) {
+		if factor > 1 {
+			seg.TimeCompress = factor
+		}
 	}
 	dram := mem.NewDRAM(cfg.DRAMConfig())
 	wb := func(addr uint64) { dram.Write(addr) }
 
-	m := &Machine{Config: cfg, DRAM: dram}
+	m := &Machine{Config: cfg, DRAM: dram, Sample: sel}
 	var l2 core.L2
 	switch cfg.Scheme {
 	case config.SchemeUnified:
@@ -58,6 +146,7 @@ func Build(cfg config.Machine) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		compress(&seg)
 		u, err := core.NewUnified(seg, wb)
 		if err != nil {
 			return nil, err
@@ -73,6 +162,8 @@ func Build(cfg config.Machine) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		compress(&us)
+		compress(&ks)
 		sp, err := core.NewStaticPartition(cfg.Name, us, ks, wb)
 		if err != nil {
 			return nil, err
@@ -84,7 +175,23 @@ func Build(cfg config.Machine) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		dp, err := core.NewDynamicPartition(cfg.DynamicConfig(seg), wb)
+		compress(&seg)
+		dc := cfg.DynamicConfig(seg)
+		if sel != nil {
+			// The controller's clocks are access-denominated: the epoch
+			// compresses with the stream, and the monitors both follow
+			// the live sets and open their subsampling by log2(factor)
+			// so each epoch still sees a full-strength utility signal.
+			dc.EpochAccesses = compressCycles(dc.EpochAccesses, factor)
+			shift := uint(bits.TrailingZeros64(factor))
+			if dc.SampleShift > shift {
+				dc.SampleShift -= shift
+			} else {
+				dc.SampleShift = 0
+			}
+			dc.Sample = sel
+		}
+		dp, err := core.NewDynamicPartition(dc, wb)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +202,10 @@ func Build(cfg config.Machine) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		dw, err := core.NewDrowsyUnified(cfg.DrowsyConfig(seg), wb)
+		compress(&seg)
+		dc := cfg.DrowsyConfig(seg)
+		dc.WindowCycles = compressCycles(dc.WindowCycles, factor)
+		dw, err := core.NewDrowsyUnified(dc, wb)
 		if err != nil {
 			return nil, err
 		}
@@ -111,11 +221,14 @@ func Build(cfg config.Machine) (*Machine, error) {
 		return nil, err
 	}
 	hier.NextLinePrefetch = cfg.Prefetch
+	if sel != nil {
+		hier.SampleFilter = sel.SelectsAddr
+	}
 	m.Hier = hier
 	c, err := cpu.New(cpu.Config{
 		BaseCPI:    cfg.BaseCPI,
-		IdleEvery:  cfg.IdleEvery,
-		IdleCycles: cfg.IdleCycles,
+		IdleEvery:  compressCycles(cfg.IdleEvery, factor),
+		IdleCycles: compressCycles(cfg.IdleCycles, factor),
 	}, hier)
 	if err != nil {
 		return nil, err
@@ -147,6 +260,11 @@ type RunReport struct {
 	History []core.PartitionDecision
 	// FlushWritebacks is the dynamic design's repartition cost.
 	FlushWritebacks uint64
+
+	// SampleFactor is the set-sampling denominator of a sampled run
+	// whose counters have been scaled back to full-cache estimates;
+	// zero (or one) marks an exact, unsampled report.
+	SampleFactor int `json:",omitempty"`
 }
 
 // L2EnergyJ is the L2's total energy — the quantity the paper's 75%/85%

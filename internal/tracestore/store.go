@@ -53,6 +53,11 @@ type Key struct {
 	PhaseLen uint64
 	// Accesses is the trace length.
 	Accesses int
+	// Variant is empty for generator traces. Derived forms (see
+	// DeriveTrace) set it to the transform's identity tag, so a base
+	// trace and its derived streams coexist in the arena without
+	// aliasing.
+	Variant string
 }
 
 // KeyFor derives the store key a full-trace run of prof uses, applying
@@ -81,6 +86,10 @@ type Stats struct {
 	Misses uint64
 	// Generated counts completed generations (misses minus failures).
 	Generated uint64
+	// Derived counts completed derived-trace builds (DeriveTrace
+	// misses that ran their transform; included in Misses/Generated
+	// alongside base generations).
+	Derived uint64
 	// Evictions counts traces dropped by the LRU budget.
 	Evictions uint64
 	// Demotions counts hot decoded forms dropped to fit the budget
@@ -99,6 +108,9 @@ type entry struct {
 	ready  chan struct{}
 	packed *trace.Packed
 	err    error
+	// meta is the opaque metadata a DeriveTrace build returned (nil
+	// for base traces); immutable once ready closes.
+	meta any
 
 	// decoded is the hot-tier form: the materialized record slice the
 	// generator produced, kept alongside the packed streams so replays
@@ -244,6 +256,72 @@ func (s *Store) GetTrace(prof workload.Profile, seed uint64, accesses int) (Trac
 	s.mu.Unlock()
 	close(e.ready)
 	return Trace{Packed: packed, Records: recs}, err
+}
+
+// DeriveTrace returns a derived form of the (prof, seed, accesses)
+// trace — a deterministic per-record transform like set-sample
+// filtering — built at most once per variant tag and cached in the
+// same LRU as base traces (hot decoded forms demote first, whole
+// entries evict last; an evicted derived trace is rebuilt from its
+// base on the next request). build receives the base trace and returns
+// the derived packed and decoded forms plus opaque metadata the store
+// hands back on every hit (e.g. the filter's measured statistics —
+// anything a replay of the derived stream alone could not recover).
+// The variant tag must capture the transform's full identity: two
+// different transforms under one tag would alias.
+//
+// Like Get, concurrent calls for one (key, variant) share a single
+// build, and failures are not cached.
+func (s *Store) DeriveTrace(prof workload.Profile, seed uint64, accesses int, variant string,
+	build func(Trace) (*trace.Packed, []trace.Access, any, error)) (Trace, any, error) {
+	if variant == "" {
+		return Trace{}, nil, fmt.Errorf("tracestore: DeriveTrace needs a variant tag")
+	}
+	base, err := s.GetTrace(prof, seed, accesses)
+	if err != nil {
+		return Trace{}, nil, err
+	}
+	key := KeyFor(prof, seed, accesses)
+	key.Variant = variant
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		s.moveToFront(e)
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return Trace{}, nil, e.err
+		}
+		s.mu.Lock()
+		recs := e.decoded
+		s.mu.Unlock()
+		return Trace{Packed: e.packed, Records: recs}, e.meta, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	s.entries[key] = e
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	packed, recs, meta, err := build(base)
+
+	s.mu.Lock()
+	e.packed, e.err, e.meta = packed, err, meta
+	if err != nil {
+		delete(s.entries, key)
+	} else {
+		e.decoded = recs
+		e.decodedBytes = int64(len(recs)) * int64(unsafe.Sizeof(trace.Access{}))
+		s.stats.Generated++
+		s.stats.Derived++
+		s.stats.BytesInUse += e.sizeBytes()
+		s.pushFront(e)
+		s.evictOverBudget(e)
+		recs = e.decoded
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	return Trace{Packed: packed, Records: recs}, meta, err
 }
 
 // generate runs the workload generator for exactly the stream

@@ -317,3 +317,86 @@ func TestContentDigestKeysDistinctProfiles(t *testing.T) {
 		t.Fatal("modified profile replayed the stale trace")
 	}
 }
+
+// DeriveTrace builds a variant once, caches it under the base key plus
+// tag (no aliasing with the base trace or other variants), returns the
+// build's metadata on hits and misses alike, and deduplicates
+// concurrent builds.
+func TestDeriveTrace(t *testing.T) {
+	prof := testProfile("app")
+	const n = 5_000
+	s := New(0)
+
+	var builds atomic.Int64
+	evens := func(base Trace) (*trace.Packed, []trace.Access, any, error) {
+		builds.Add(1)
+		var out []trace.Access
+		for i, a := range base.Records {
+			if i%2 == 0 {
+				out = append(out, a)
+			}
+		}
+		return trace.PackSlice(out), out, "meta-evens", nil
+	}
+
+	if _, _, err := s.DeriveTrace(prof, 1, n, "", evens); err == nil {
+		t.Fatal("empty variant accepted")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, meta, err := s.DeriveTrace(prof, 1, n, "evens", evens)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if meta != "meta-evens" {
+				t.Errorf("meta = %v", meta)
+			}
+			if len(tr.Records) != n/2 {
+				t.Errorf("derived records = %d, want %d", len(tr.Records), n/2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	st := s.Stats()
+	if st.Derived != 1 {
+		t.Fatalf("Derived = %d, want 1", st.Derived)
+	}
+
+	// The base trace is untouched and distinct.
+	base, err := s.GetTrace(prof, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Records) != n {
+		t.Fatalf("base records = %d after derive, want %d", len(base.Records), n)
+	}
+
+	// A different variant tag builds separately.
+	odds := func(base Trace) (*trace.Packed, []trace.Access, any, error) {
+		var out []trace.Access
+		for i, a := range base.Records {
+			if i%2 == 1 {
+				out = append(out, a)
+			}
+		}
+		return trace.PackSlice(out), out, "meta-odds", nil
+	}
+	_, meta, err := s.DeriveTrace(prof, 1, n, "odds", odds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != "meta-odds" {
+		t.Fatalf("odds meta = %v", meta)
+	}
+	if got := s.Stats().Derived; got != 2 {
+		t.Fatalf("Derived = %d, want 2", got)
+	}
+}
