@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-e21 clean
+.PHONY: build test check bench bench-json bench-e21 serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
@@ -40,6 +40,12 @@ bench-json:
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:
 	$(GO) test -bench=BenchmarkE21RetentionFaults -benchmem
+
+# serve-smoke boots cmd/mcserved against a scratch store, submits a
+# tiny sweep over HTTP, streams the results, downloads the CSV, checks
+# /healthz, /readyz and /metrics, and requires a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

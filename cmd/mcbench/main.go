@@ -77,6 +77,35 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast on bad settings and unwritable destinations: a full
+	// benchmark run is hours of simulation, and discovering a typoed
+	// output directory after the first experiment finishes wastes all
+	// of it.
+	if *accesses <= 0 {
+		return fmt.Errorf("-accesses %d is not a runnable access count (need >= 1)", *accesses)
+	}
+	if *traceCacheMB < 0 {
+		return fmt.Errorf("-trace-cache-mb %d is negative; use 0 for an unlimited arena", *traceCacheMB)
+	}
+	if *expID != "" && !*list {
+		known := false
+		for _, id := range experiments.IDs() {
+			if id == *expID {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("-experiment %q is not a known ID (see -list)", *expID)
+		}
+	}
+	for _, d := range []struct{ flag, dir string }{
+		{"-csv", *csvDir}, {"-md", *mdDir}, {"-svg", *svgDir},
+	} {
+		if err := checkWritableDir(d.flag, d.dir); err != nil {
+			return err
+		}
+	}
 	var sampleSpec sample.Spec
 	if *sampleArg != "" {
 		var err error
@@ -212,6 +241,25 @@ func runSampleValidate(opts experiments.Options, spec sample.Spec, out io.Writer
 	}
 	fmt.Fprintf(out, "PASS: every machine within %.1f%% on both metrics\n", 100*validateTolerance)
 	return nil
+}
+
+// checkWritableDir proves an output directory can actually receive
+// files before any simulation starts: create it if needed, then create
+// and remove a probe file.
+func checkWritableDir(flagName, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%s: creating %s: %w", flagName, dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("%s: directory %s is not writable: %w", flagName, dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // dumpTable writes one table rendering to path, creating directories.

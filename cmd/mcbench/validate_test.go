@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Bad settings and unwritable output destinations must be rejected
+// before any experiment simulates — the error has to name the flag.
+func TestFailFastValidation(t *testing.T) {
+	// A regular file as a path component makes any dir under it
+	// uncreatable, which (unlike permission bits) also holds for root.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-accesses", "-5"}, "-accesses"},
+		{[]string{"-accesses", "0"}, "-accesses"},
+		{[]string{"-trace-cache-mb", "-1"}, "-trace-cache-mb"},
+		{[]string{"-experiment", "E99"}, "-experiment"},
+		{[]string{"-csv", filepath.Join(blocker, "sub")}, "-csv"},
+		{[]string{"-md", filepath.Join(blocker, "sub")}, "-md"},
+		{[]string{"-svg", filepath.Join(blocker, "sub")}, "-svg"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want fail-fast error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not name %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// A writable output dir passes the probe and is created if missing.
+func TestOutputDirProbeCreates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "csv")
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "E5", "-accesses", "4000", "-apps", "browser", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV landed in the probed directory")
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".probe-") {
+			t.Fatalf("probe file %s left behind", e.Name())
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Command mcserved serves the sweep engine over HTTP: clients POST a
+// sweep spec (the mcsweep JSON format), get a job id back, stream
+// per-cell results as JSONL or SSE, download the final CSV, and
+// cancel. Every job is crash-resumable: completed cells land in a
+// per-job checkpoint journal, and a restarted daemon resumes every
+// interrupted job from the journal's longest valid prefix.
+//
+// Endpoints:
+//
+//	POST /jobs               submit a spec          → 202 {"id": ...}
+//	GET  /jobs               list jobs              → 200 JSON array
+//	GET  /jobs/{id}          status + failure tail  → 200 JSON
+//	GET  /jobs/{id}/results  stream events          → JSONL (SSE with
+//	                         Accept: text/event-stream)
+//	GET  /jobs/{id}/csv      final CSV              → 200 text/csv
+//	POST /jobs/{id}/cancel   cancel                 → 200
+//	GET  /healthz            liveness               → 200
+//	GET  /readyz             readiness              → 200, 503 draining
+//	GET  /metrics            Prometheus-style text  → 200
+//
+// SIGINT/SIGTERM closes admission, drains in-flight cells up to
+// -drain-timeout, fsyncs every journal, and exits; whatever the
+// deadline cut off resumes on the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mobilecache/internal/engine"
+	"mobilecache/internal/jobs"
+)
+
+type options struct {
+	addr          string
+	data          string
+	workers       int
+	maxJobs       int
+	maxClientJobs int
+	maxCells      int
+	timeout       time.Duration
+	retries       int
+	keepGoing     bool
+	audit         string
+	traceCacheMB  int
+	drainTimeout  time.Duration
+}
+
+func (o *options) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8347", "listen address")
+	fs.StringVar(&o.data, "data", "mcserved-data", "job store directory (journals, manifests, results)")
+	fs.IntVar(&o.workers, "workers", 0, "worker slots shared by all jobs (0 = GOMAXPROCS)")
+	fs.IntVar(&o.maxJobs, "max-jobs", jobs.DefaultMaxJobs, "admission bound: concurrent non-terminal jobs")
+	fs.IntVar(&o.maxClientJobs, "max-client-jobs", jobs.DefaultMaxClientJobs, "per-client concurrent job bound")
+	fs.IntVar(&o.maxCells, "max-cells", jobs.DefaultMaxCellsPerJob, "per-job cell budget")
+	fs.DurationVar(&o.timeout, "timeout", 0, "per-cell timeout (0 = none)")
+	fs.IntVar(&o.retries, "retries", 0, "per-cell retries after the first attempt")
+	fs.BoolVar(&o.keepGoing, "keep-going", true, "let sibling cells finish when a cell exhausts its attempts")
+	fs.StringVar(&o.audit, "audit", "", "invariant audit mode for all simulations (off, sampled, full)")
+	fs.IntVar(&o.traceCacheMB, "trace-cache-mb", 0, "trace arena budget in MiB (0 = engine default)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+}
+
+func (o *options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if o.data == "" {
+		return fmt.Errorf("-data must not be empty")
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", o.workers)
+	}
+	if o.maxJobs <= 0 {
+		return fmt.Errorf("-max-jobs must be positive (got %d)", o.maxJobs)
+	}
+	if o.maxClientJobs <= 0 {
+		return fmt.Errorf("-max-client-jobs must be positive (got %d)", o.maxClientJobs)
+	}
+	if o.maxCells <= 0 {
+		return fmt.Errorf("-max-cells must be positive (got %d)", o.maxCells)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d)", o.retries)
+	}
+	if o.traceCacheMB < 0 {
+		return fmt.Errorf("-trace-cache-mb must be >= 0 (got %d)", o.traceCacheMB)
+	}
+	if o.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive (got %v)", o.drainTimeout)
+	}
+	if o.audit != "" {
+		if err := engine.CheckAudit(o.audit); err != nil {
+			return fmt.Errorf("-audit: %v", err)
+		}
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var opt options
+	opt.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := opt.validate(); err != nil {
+		fmt.Fprintf(errOut, "mcserved: %v\n", err)
+		return 2
+	}
+	if opt.audit != "" {
+		restore, err := engine.ApplyAudit(opt.audit)
+		if err != nil {
+			fmt.Fprintf(errOut, "mcserved: -audit: %v\n", err)
+			return 2
+		}
+		defer restore()
+	}
+
+	mgr, err := jobs.New(jobs.Options{
+		Root:             opt.data,
+		Workers:          opt.workers,
+		MaxJobs:          opt.maxJobs,
+		MaxClientJobs:    opt.maxClientJobs,
+		MaxCellsPerJob:   opt.maxCells,
+		Timeout:          opt.timeout,
+		Retries:          opt.retries,
+		KeepGoing:        opt.keepGoing,
+		TraceBudgetBytes: int64(opt.traceCacheMB) << 20,
+		Log:              errOut,
+	})
+	if err != nil {
+		fmt.Fprintf(errOut, "mcserved: %v\n", err)
+		return 1
+	}
+
+	srv := &http.Server{
+		Addr:    opt.addr,
+		Handler: newServer(mgr),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	workers := opt.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(out, "mcserved: listening on %s (store %s, %d worker slots)\n",
+		opt.addr, opt.data, workers)
+
+	select {
+	case err := <-errCh:
+		// The listener died before any signal: report and still drain the
+		// manager so journals close cleanly.
+		fmt.Fprintf(errOut, "mcserved: serve: %v\n", err)
+		drainCtx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+		defer cancel()
+		mgr.Shutdown(drainCtx)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+
+	fmt.Fprintf(out, "mcserved: signal received, draining (deadline %v)\n", opt.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first so no new submissions race the drain,
+	// then drain the manager.
+	httpErr := srv.Shutdown(drainCtx)
+	drainErr := mgr.Shutdown(drainCtx)
+	switch {
+	case drainErr != nil:
+		fmt.Fprintf(errOut, "mcserved: drain deadline expired; interrupted jobs resume on next start: %v\n", drainErr)
+		return 1
+	case httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed):
+		fmt.Fprintf(errOut, "mcserved: http shutdown: %v\n", httpErr)
+		return 1
+	}
+	fmt.Fprintln(out, "mcserved: drained cleanly")
+	return 0
+}

@@ -64,6 +64,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast: a negative -accesses would otherwise wrap to a huge
+	// uint64 replay bound, and a bad -audit mode should be caught before
+	// any config or trace file is touched.
+	if *accesses < 0 {
+		return fmt.Errorf("-accesses %d is negative; use 0 to replay a whole trace", *accesses)
+	}
+	if err := engine.CheckAudit(*audit); err != nil {
+		return fmt.Errorf("-audit: %w", err)
+	}
 	var spec sample.Spec
 	if *sampleArg != "" {
 		var err error

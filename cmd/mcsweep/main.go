@@ -74,7 +74,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"mobilecache/internal/engine"
@@ -238,7 +240,16 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		w = of
 	}
-	sweepErr := sweep(spec, opt, w, errOut)
+	// A SIGINT/SIGTERM cancels the sweep context: dispatch stops, the
+	// journal and manifest are flushed and fsynced as the engine
+	// unwinds, and the run exits non-zero pointing at -resume. A second
+	// signal falls back to the default disposition and kills
+	// immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	context.AfterFunc(ctx, stopSignals)
+
+	sweepErr := sweep(ctx, spec, opt, w, errOut)
 	if of != nil {
 		// A close error is a truncated results file (e.g. full disk) —
 		// it must fail the run, not be swallowed.
@@ -303,7 +314,7 @@ func plan(spec Spec) (engine.Plan, error) {
 
 // sweep executes the spec's grid on the engine and renders the CSV,
 // the stderr summary and the exit status.
-func sweep(spec Spec, opt options, w, errOut io.Writer) error {
+func sweep(ctx context.Context, spec Spec, opt options, w, errOut io.Writer) error {
 	p, err := plan(spec)
 	if err != nil {
 		return err
@@ -317,7 +328,7 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 		KeepGoing:        opt.keepGoing,
 		TraceBudgetBytes: engine.TraceBudgetMB(opt.traceCacheMB),
 	})
-	sum, runErr := eng.Execute(context.Background(), p, engine.ExecOptions{
+	sum, runErr := eng.Execute(ctx, p, engine.ExecOptions{
 		CheckpointPath: opt.checkpointPath,
 		Resume:         opt.resume,
 		FailuresPath:   opt.failuresOut,
@@ -341,6 +352,16 @@ func sweep(spec Spec, opt options, w, errOut io.Writer) error {
 	}
 
 	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) {
+			// Interrupted by a signal: everything completed so far is on
+			// disk (the engine fsyncs the journal and manifest as it
+			// unwinds), so tell the operator how to continue instead of
+			// dumping a cancellation backtrace.
+			if opt.checkpointPath != "" {
+				return fmt.Errorf("interrupted; completed cells are journaled — rerun with -resume to continue from %s", opt.checkpointPath)
+			}
+			return fmt.Errorf("interrupted; rerun with -checkpoint and -resume to make sweeps continuable")
+		}
 		var re *runner.RunError
 		if errors.As(runErr, &re) {
 			return fmt.Errorf("sweep aborted (rerun with -keep-going to finish the healthy cells): %w", re)

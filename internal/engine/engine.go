@@ -33,6 +33,7 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -197,6 +198,10 @@ func New(cfg Config) *Engine {
 // callers that need to share it with non-engine code paths).
 func (e *Engine) Store() *tracestore.Store { return e.store }
 
+// MemoStats snapshots the run memo's hit/miss/eviction counters (the
+// daemon's /metrics reads them live).
+func (e *Engine) MemoStats() MemoStats { return e.memo.stats() }
+
 // keyOf hashes one cell's full inputs exactly the way the checkpoint
 // journal always has — machine config, profile, seed, accesses,
 // warmup, in that order — so pre-existing journals stay resumable and
@@ -272,6 +277,22 @@ type ExecOptions struct {
 	// Log receives diagnostics (discarded checkpoint tails, undecodable
 	// entries); nil discards them.
 	Log io.Writer
+	// OnResult, when non-nil, is the progress-callback sink: it fires
+	// the moment a cell completes successfully — from the worker
+	// goroutine, in completion order, not plan order — so a long
+	// execution can stream results and progress while the ordered Sinks
+	// still see everything in plan order at the end. It may be called
+	// concurrently and must be safe for that.
+	OnResult func(Result)
+	// OnFailure, when non-nil, fires as cells exhaust their attempts
+	// (see runner.Config.OnFailure); it runs in addition to the
+	// FailuresPath manifest logger, not instead of it.
+	OnFailure func(*runner.RunError)
+	// Gate, when non-nil, is acquired once per cell before it runs —
+	// the hook a multi-plan scheduler (the sweep daemon) uses to bound
+	// and fair-share one machine-wide slot set across concurrent
+	// executions. See runner.Gate.
+	Gate runner.Gate
 }
 
 // Summary is what a plan execution leaves behind besides the sink
@@ -339,6 +360,8 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 		Retries:   e.cfg.Retries,
 		Backoff:   e.cfg.Backoff,
 		KeepGoing: e.cfg.KeepGoing,
+		OnFailure: opt.OnFailure,
+		Gate:      opt.Gate,
 	}
 	if opt.FailuresPath != "" {
 		mlog, err = runner.NewManifestLogger(opt.FailuresPath)
@@ -348,7 +371,11 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 			}
 			return sum, fmt.Errorf("opening failure manifest %s: %w", opt.FailuresPath, err)
 		}
-		rcfg.OnFailure = mlog.Record
+		if next := opt.OnFailure; next != nil {
+			rcfg.OnFailure = func(e *runner.RunError) { mlog.Record(e); next(e) }
+		} else {
+			rcfg.OnFailure = mlog.Record
+		}
 	}
 
 	var nResumed, nMemoized atomic.Uint64
@@ -358,27 +385,36 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 		func(_ context.Context, rc runner.Cell) (sim.RunReport, error) {
 			i := index[rc]
 			key := keys[i]
-			if rep, ok := resumed[key]; ok {
+			rep, ok := resumed[key]
+			if ok {
 				// Already completed (and audited) in a previous run; it is
 				// in the journal by definition, so no re-append.
 				nResumed.Add(1)
 				fromResume[i] = true
-				return rep, nil
-			}
-			rep, memoized, err := e.runKeyed(plan.Cells[i], key, plan.Accesses, plan.Warmup, plan.Sample)
-			if err != nil {
-				return rep, err
-			}
-			if memoized {
-				nMemoized.Add(1)
-				fromMemo[i] = true
-			}
-			if journal != nil {
-				// A cell whose result can't be made durable is a failed
-				// cell: the caller asked for crash safety.
-				if jerr := journal.AppendJSON(key, rep); jerr != nil {
-					return rep, fmt.Errorf("checkpoint append: %w", jerr)
+			} else {
+				var memoized bool
+				var err error
+				rep, memoized, err = e.runKeyed(plan.Cells[i], key, plan.Accesses, plan.Warmup, plan.Sample)
+				if err != nil {
+					return rep, err
 				}
+				if memoized {
+					nMemoized.Add(1)
+					fromMemo[i] = true
+				}
+				if journal != nil {
+					// A cell whose result can't be made durable is a failed
+					// cell: the caller asked for crash safety.
+					if jerr := journal.AppendJSON(key, rep); jerr != nil {
+						return rep, fmt.Errorf("checkpoint append: %w", jerr)
+					}
+				}
+			}
+			if opt.OnResult != nil {
+				opt.OnResult(Result{
+					Index: i, Cell: plan.Cells[i], Key: key, Report: rep,
+					Resumed: fromResume[i], Memoized: fromMemo[i],
+				})
 			}
 			return rep, nil
 		})
@@ -420,7 +456,16 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 	}
 
 	if mlog != nil {
-		if err := mlog.Finalize(sum.Manifest); err != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			// An interrupted execution is not a final verdict: finalizing
+			// would replace the fsynced incremental failure log with a
+			// manifest dominated by cancellation casualties (every
+			// undispatched cell of an aborted million-cell plan). Keep the
+			// line log; a resumed execution rebuilds the real manifest.
+			if cerr := mlog.Close(); cerr != nil {
+				fmt.Fprintf(logw, "failure manifest %s: %v\n", opt.FailuresPath, cerr)
+			}
+		} else if err := mlog.Finalize(sum.Manifest); err != nil {
 			return sum, fmt.Errorf("writing failure manifest %s: %w", opt.FailuresPath, err)
 		}
 	}

@@ -405,3 +405,110 @@ func TestAuditHelpers(t *testing.T) {
 		t.Fatal("strict audit let a tampered report pass")
 	}
 }
+
+// TestExecuteOnResult: the progress-callback sink fires once per
+// successful cell with the cell's plan identity, concurrently with the
+// run, and the ordered sinks still see everything afterwards.
+func TestExecuteOnResult(t *testing.T) {
+	p := testPlan(t, []string{"baseline-sram", "sp-mr"}, 2, []uint64{1, 2}, 2000)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	col := NewCollector()
+	sum, err := New(Config{Workers: 4}).Execute(context.Background(), p, ExecOptions{
+		OnResult: func(r Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[r.Index] {
+				t.Errorf("OnResult fired twice for cell %d", r.Index)
+			}
+			seen[r.Index] = true
+			if r.Cell.Machine != p.Cells[r.Index].Machine || r.Cell.Seed != p.Cells[r.Index].Seed {
+				t.Errorf("OnResult cell %d carries wrong identity: %+v", r.Index, r.Cell)
+			}
+		},
+	}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(p.Cells) {
+		t.Fatalf("OnResult fired for %d cells, want %d", len(seen), len(p.Cells))
+	}
+	if len(col.Results) != len(p.Cells) {
+		t.Fatalf("collector saw %d results, want %d", len(col.Results), len(p.Cells))
+	}
+	if sum.Manifest.Succeeded != len(p.Cells) {
+		t.Fatalf("succeeded %d, want %d", sum.Manifest.Succeeded, len(p.Cells))
+	}
+}
+
+// testGate is a channel semaphore that records its concurrency peak.
+type testGate struct {
+	slots chan struct{}
+	held  int64
+	peak  int64
+	mu    sync.Mutex
+}
+
+func newTestGate(n int) *testGate { return &testGate{slots: make(chan struct{}, n)} }
+
+func (g *testGate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.mu.Lock()
+		g.held++
+		if g.held > g.peak {
+			g.peak = g.held
+		}
+		g.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *testGate) Release() {
+	g.mu.Lock()
+	g.held--
+	g.mu.Unlock()
+	<-g.slots
+}
+
+// TestExecuteGate: an execution given a one-slot gate never runs two
+// cells at once, whatever its worker count, and leaks no slots.
+func TestExecuteGate(t *testing.T) {
+	p := testPlan(t, []string{"baseline-sram", "sp-mr"}, 2, []uint64{1, 2}, 2000)
+	g := newTestGate(1)
+	if _, err := New(Config{Workers: 6}).Execute(context.Background(), p, ExecOptions{Gate: g}); err != nil {
+		t.Fatal(err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.peak > 1 {
+		t.Fatalf("gate admitted %d concurrent cells, want 1", g.peak)
+	}
+	if g.held != 0 {
+		t.Fatalf("%d gate slots leaked", g.held)
+	}
+}
+
+// TestExecuteCancelledKeepsIncrementalManifest: a cancelled execution
+// must not replace the fsynced incremental failure log with a manifest
+// full of cancellation casualties.
+func TestExecuteCancelledKeepsIncrementalManifest(t *testing.T) {
+	p := testPlan(t, []string{"baseline-sram"}, 1, []uint64{1, 2, 3, 4}, 2000)
+	fpath := filepath.Join(t.TempDir(), "failures.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(Config{Workers: 2, KeepGoing: true}).Execute(ctx, p, ExecOptions{FailuresPath: fpath})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	data, rerr := os.ReadFile(fpath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var m runner.Manifest
+	if json.Unmarshal(data, &m) == nil && m.TotalCells > 0 {
+		t.Fatalf("cancelled run finalized a manifest of %d cells: %s", m.TotalCells, data)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"mobilecache/internal/checkpoint"
 	"mobilecache/internal/sim"
@@ -29,6 +30,19 @@ type memo struct {
 	// indexes it.
 	order *list.List
 	byKey map[checkpoint.Key]*list.Element
+	// hits/misses/evictions feed MemoStats (the daemon's /metrics).
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// MemoStats counts how the run memo performed; reads are safe at any
+// time, including while an execution is in flight.
+type MemoStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
 }
 
 type memoEntry struct {
@@ -57,8 +71,10 @@ func (m *memo) get(key checkpoint.Key) (sim.RunReport, bool) {
 	defer m.mu.Unlock()
 	el, ok := m.byKey[key]
 	if !ok {
+		m.misses.Add(1)
 		return sim.RunReport{}, false
 	}
+	m.hits.Add(1)
 	m.order.MoveToFront(el)
 	return el.Value.(*memoEntry).rep, true
 }
@@ -82,6 +98,17 @@ func (m *memo) add(key checkpoint.Key, rep sim.RunReport) {
 		el := m.order.Back()
 		m.order.Remove(el)
 		delete(m.byKey, el.Value.(*memoEntry).key)
+		m.evictions.Add(1)
+	}
+}
+
+// stats snapshots the memo counters.
+func (m *memo) stats() MemoStats {
+	return MemoStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Entries:   m.len(),
 	}
 }
 

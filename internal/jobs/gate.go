@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// rrGate is the fair scheduler at the heart of the daemon: one
+// machine-wide set of worker slots, granted to jobs round-robin. Every
+// running job's engine execution acquires one slot per cell through a
+// per-job handle (runner.Gate); when a slot frees up it goes to the
+// next job in the ring that has a waiter, not to whichever job has the
+// most workers queued — so a million-cell sweep and a ten-cell sweep
+// alternate cells and the small one finishes early instead of waiting
+// out the large one.
+//
+// Draining flips the gate into shutdown mode: no new grants, so
+// in-flight cells finish and everything else parks until the jobs'
+// contexts are cancelled.
+type rrGate struct {
+	mu    sync.Mutex
+	free  int // slots not held and not promised to a waiter
+	total int
+
+	// ring holds the IDs of jobs with at least one waiter, in arrival
+	// order; next indexes the job to serve first on the next release.
+	ring   []string
+	queues map[string][]*slotWaiter
+	next   int
+
+	inflight int
+	draining bool
+	// idle is closed when draining and inflight reaches zero.
+	idle     chan struct{}
+	idleOnce sync.Once
+}
+
+// slotWaiter is one parked Acquire. granted flips under the gate lock
+// when a release hands the waiter its slot (then ch is closed).
+type slotWaiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+func newRRGate(slots int) *rrGate {
+	if slots < 1 {
+		slots = 1
+	}
+	return &rrGate{free: slots, total: slots, queues: map[string][]*slotWaiter{}, idle: make(chan struct{})}
+}
+
+// jobGate is the per-job runner.Gate handle.
+type jobGate struct {
+	g  *rrGate
+	id string
+}
+
+func (g *rrGate) forJob(id string) *jobGate { return &jobGate{g: g, id: id} }
+
+func (jg *jobGate) Acquire(ctx context.Context) error { return jg.g.acquire(ctx, jg.id) }
+func (jg *jobGate) Release()                          { jg.g.release() }
+
+func (g *rrGate) acquire(ctx context.Context, id string) error {
+	g.mu.Lock()
+	if g.free > 0 && !g.draining {
+		// No waiter can exist while free > 0 (releases grant waiters
+		// directly), so taking the fast path never jumps a queue.
+		g.free--
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	}
+	w := &slotWaiter{ch: make(chan struct{})}
+	if len(g.queues[id]) == 0 {
+		g.ring = append(g.ring, id)
+	}
+	g.queues[id] = append(g.queues[id], w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced our cancellation: we own a slot we will
+			// never use — hand it on.
+			g.releaseLocked()
+			g.mu.Unlock()
+			return ctx.Err()
+		}
+		g.removeWaiterLocked(id, w)
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (g *rrGate) release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
+}
+
+// releaseLocked returns one slot: to the next job in the ring with a
+// waiter, or to the free pool. During drain nothing is granted, and
+// the last in-flight release signals idleness.
+func (g *rrGate) releaseLocked() {
+	g.inflight--
+	if g.draining {
+		g.free++
+		if g.inflight == 0 {
+			g.idleOnce.Do(func() { close(g.idle) })
+		}
+		return
+	}
+	if len(g.ring) == 0 {
+		g.free++
+		return
+	}
+	if g.next >= len(g.ring) {
+		g.next = 0
+	}
+	id := g.ring[g.next]
+	q := g.queues[id]
+	w := q[0]
+	if len(q) == 1 {
+		delete(g.queues, id)
+		g.ring = append(g.ring[:g.next], g.ring[g.next+1:]...)
+		// next now indexes the job after the removed one; wrap on use.
+	} else {
+		g.queues[id] = q[1:]
+		g.next++
+	}
+	g.inflight++
+	w.granted = true
+	close(w.ch)
+}
+
+// removeWaiterLocked unparks a cancelled waiter from its queue.
+func (g *rrGate) removeWaiterLocked(id string, w *slotWaiter) {
+	q := g.queues[id]
+	for i, cand := range q {
+		if cand == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(g.queues, id)
+		for i, rid := range g.ring {
+			if rid == id {
+				g.ring = append(g.ring[:i], g.ring[i+1:]...)
+				if g.next > i {
+					g.next--
+				}
+				break
+			}
+		}
+	} else {
+		g.queues[id] = q
+	}
+}
+
+// drain stops all future grants. In-flight cells keep their slots
+// until released.
+func (g *rrGate) drain() {
+	g.mu.Lock()
+	g.draining = true
+	if g.inflight == 0 {
+		g.idleOnce.Do(func() { close(g.idle) })
+	}
+	g.mu.Unlock()
+}
+
+// waitIdle blocks until every in-flight cell of a draining gate has
+// finished, or ctx expires.
+func (g *rrGate) waitIdle(ctx context.Context) error {
+	select {
+	case <-g.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// depth reports (in-flight cells, parked waiters) for metrics.
+func (g *rrGate) depth() (inflight, waiting int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, q := range g.queues {
+		waiting += len(q)
+	}
+	return g.inflight, waiting
+}

@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Job directory layout, one directory per job under the store root:
+//
+//	<root>/<id>/job.json      — immutable submission record (spec, client)
+//	<root>/<id>/state.json    — current FSM state, atomically rewritten
+//	<root>/<id>/cells.ckpt    — crash-safe checkpoint journal of cells
+//	<root>/<id>/failures.json — failure manifest (incremental, finalized)
+//	<root>/<id>/result.csv    — final CSV, atomic rename on completion
+//
+// The journal and manifest are the existing internal/checkpoint and
+// internal/runner formats: resume after a crash is exactly the engine's
+// resume path, per job.
+const (
+	metaFile     = "job.json"
+	stateFile    = "state.json"
+	journalFile  = "cells.ckpt"
+	failuresFile = "failures.json"
+	resultFile   = "result.csv"
+)
+
+// meta is the immutable half of a job's on-disk record.
+type meta struct {
+	ID      string    `json:"id"`
+	Client  string    `json:"client,omitempty"`
+	Created time.Time `json:"created"`
+	Spec    Spec      `json:"spec"`
+}
+
+// persistentState is the mutable half, rewritten atomically on every
+// FSM transition. Counts are a convenience snapshot for listings after
+// a restart; the journal is the source of truth for resume.
+type persistentState struct {
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	Updated   time.Time `json:"updated"`
+}
+
+// newJobID returns a fresh 96-bit random ID.
+func newJobID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generating id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// writeJSONAtomic lands v at path via write-temp, fsync, rename — the
+// path never holds a half-written record, even across a crash.
+func writeJSONAtomic(path string, v any) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// recovered is one job found on disk by scanStore.
+type recovered struct {
+	dir   string
+	meta  meta
+	state persistentState
+}
+
+// scanStore reads every job directory under root, oldest submission
+// first. Directories missing a readable meta or state record are
+// skipped with a note through warn — a half-created job from a crash
+// during submission is not worth failing the whole daemon for.
+func scanStore(root string, warn func(string)) ([]recovered, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []recovered
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		var r recovered
+		r.dir = dir
+		if err := readJSON(filepath.Join(dir, metaFile), &r.meta); err != nil {
+			warn(fmt.Sprintf("jobs: skipping %s: unreadable %s: %v", e.Name(), metaFile, err))
+			continue
+		}
+		if err := readJSON(filepath.Join(dir, stateFile), &r.state); err != nil {
+			warn(fmt.Sprintf("jobs: skipping %s: unreadable %s: %v", e.Name(), stateFile, err))
+			continue
+		}
+		if r.meta.ID != e.Name() {
+			warn(fmt.Sprintf("jobs: skipping %s: directory/id mismatch (%s)", e.Name(), r.meta.ID))
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].meta.Created.Equal(out[j].meta.Created) {
+			return out[i].meta.Created.Before(out[j].meta.Created)
+		}
+		return out[i].meta.ID < out[j].meta.ID
+	})
+	return out, nil
+}

@@ -81,6 +81,19 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// Gate admits cells to execution slots shared beyond one pool. A pool
+// given a Gate acquires one slot per cell (not per attempt) before the
+// cell runs and releases it when the cell finishes, so several
+// concurrently running pools — the sweep daemon runs one per job over
+// one machine-wide slot set — are bounded and scheduled together.
+// Acquire must honor ctx: when the context is cancelled while waiting
+// for a slot, it returns the context's error and the cell is recorded
+// as a cancellation casualty, never silently skipped.
+type Gate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
 // Config bounds and shapes a pool run.
 type Config struct {
 	// Workers is the pool size; <= 0 uses GOMAXPROCS.
@@ -105,6 +118,11 @@ type Config struct {
 	// from multiple workers and must be safe for that. Cells cancelled
 	// before dispatch do not fire it.
 	OnFailure func(*RunError)
+	// Gate, when non-nil, is acquired once per cell before it runs and
+	// released when it finishes. It is how multiple pools share one
+	// bounded slot set (see Gate); a nil Gate admits every dispatched
+	// cell immediately.
+	Gate Gate
 }
 
 // Func computes one cell. It must respect ctx for prompt cancellation;
@@ -152,7 +170,7 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell, fn Func[T]) ([]Ou
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				outcomes[i] = runCell(runCtx, cfg, cells[i], fn)
+				outcomes[i] = runGated(runCtx, cfg, cells[i], fn)
 				if outcomes[i].Err != nil {
 					if cfg.OnFailure != nil {
 						cfg.OnFailure(outcomes[i].Err)
@@ -201,6 +219,21 @@ feed:
 		}
 	}
 	return outcomes, nil
+}
+
+// runGated wraps runCell in the (optional) shared admission gate: one
+// slot per cell, held across every attempt, released whatever the
+// outcome. A cancellation while waiting for a slot becomes an ordinary
+// cancellation outcome, so callers see the cell as lost to the
+// shutdown rather than mysteriously absent.
+func runGated[T any](ctx context.Context, cfg Config, c Cell, fn Func[T]) Outcome[T] {
+	if cfg.Gate != nil {
+		if err := cfg.Gate.Acquire(ctx); err != nil {
+			return Outcome[T]{Cell: c, Err: &RunError{Cell: c, Err: err}}
+		}
+		defer cfg.Gate.Release()
+	}
+	return runCell(ctx, cfg, c, fn)
 }
 
 // runCell drives one cell through its attempts.

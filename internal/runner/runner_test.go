@@ -317,3 +317,110 @@ func TestEmptyCellsAndWorkerClamp(t *testing.T) {
 		t.Fatalf("empty run: %v, %d outcomes", err, len(outcomes))
 	}
 }
+
+// chanGate is a test Gate over a buffered channel: capacity = slots.
+type chanGate struct {
+	slots chan struct{}
+	held  atomic.Int64
+	max   atomic.Int64
+}
+
+func newChanGate(n int) *chanGate { return &chanGate{slots: make(chan struct{}, n)} }
+
+func (g *chanGate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		h := g.held.Add(1)
+		for {
+			m := g.max.Load()
+			if h <= m || g.max.CompareAndSwap(m, h) {
+				break
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *chanGate) Release() {
+	g.held.Add(-1)
+	<-g.slots
+}
+
+// A gate bounds concurrency below the pool's worker count, and every
+// slot is released afterwards (panicking cells included).
+func TestGateBoundsConcurrency(t *testing.T) {
+	gate := newChanGate(2)
+	cells := cellsN(24)
+	outcomes, err := Run(context.Background(), Config{Workers: 8, KeepGoing: true, Gate: gate}, cells,
+		func(_ context.Context, c Cell) (int, error) {
+			time.Sleep(time.Millisecond)
+			if c.Seed == 7 {
+				panic("gated chaos")
+			}
+			return int(c.Seed), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gate.max.Load(); got > 2 {
+		t.Fatalf("gate admitted %d concurrent cells, want <= 2", got)
+	}
+	if got := gate.held.Load(); got != 0 {
+		t.Fatalf("%d slots still held after the run (leak)", got)
+	}
+	failed := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d failures, want exactly the panicking cell", failed)
+	}
+}
+
+// Cancellation while blocked in Acquire unwinds promptly: the waiting
+// cells come back as cancellation casualties, not a hang.
+func TestGateAcquireHonorsCancellation(t *testing.T) {
+	gate := newChanGate(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var outcomes []Outcome[int]
+	go func() {
+		defer close(done)
+		outcomes, _ = Run(ctx, Config{Workers: 4, KeepGoing: true, Gate: gate}, cellsN(8),
+			func(ctx context.Context, c Cell) (int, error) {
+				started.Add(1)
+				<-release
+				return 0, nil
+			})
+	}()
+	// Wait for the single slot to be occupied, then cancel while the
+	// other workers block in Acquire.
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not unwind from a cancelled gate acquire")
+	}
+	cancelled := 0
+	for _, o := range outcomes {
+		if o.Err != nil && errors.Is(o.Err.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no cell recorded as a cancellation casualty")
+	}
+	if got := gate.held.Load(); got != 0 {
+		t.Fatalf("%d slots still held after cancellation", got)
+	}
+}

@@ -1,0 +1,97 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of cmd/mcserved: boot the
+# daemon against a scratch store, submit a tiny sweep over HTTP, stream
+# its results, download the CSV, check the health and metrics
+# endpoints, then shut down gracefully with SIGTERM and require a clean
+# exit. Needs only a shell and curl; run via `make serve-smoke`.
+set -eu
+
+PORT="${MC_SMOKE_PORT:-18347}"
+ADDR="127.0.0.1:$PORT"
+GO="${GO:-go}"
+
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    [ -f "$WORK/served.log" ] && sed 's/^/serve-smoke: daemon: /' "$WORK/served.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: building mcserved"
+"$GO" build -o "$WORK/mcserved" ./cmd/mcserved
+
+cat > "$WORK/spec.json" <<'SPEC'
+{
+  "machines": ["baseline-sram", "sp-mr"],
+  "apps": ["browser"],
+  "seeds": [1, 2],
+  "accesses": 20000
+}
+SPEC
+
+echo "serve-smoke: starting daemon on $ADDR"
+"$WORK/mcserved" -addr "$ADDR" -data "$WORK/store" -drain-timeout 20s \
+    > "$WORK/served.log" 2>&1 &
+SRV_PID=$!
+
+# Wait for liveness.
+i=0
+until curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "/healthz never came up"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+
+echo "serve-smoke: submitting sweep"
+SUBMIT="$(curl -sf -XPOST --data-binary @"$WORK/spec.json" "http://$ADDR/jobs")" \
+    || fail "submit rejected"
+ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n1)"
+[ -n "$ID" ] || fail "no job id in submit response: $SUBMIT"
+echo "serve-smoke: job $ID accepted"
+
+echo "serve-smoke: streaming results"
+curl -sfN "http://$ADDR/jobs/$ID/results" > "$WORK/stream.jsonl" \
+    || fail "streaming results failed"
+CELLS="$(grep -c '"type":"cell"' "$WORK/stream.jsonl" || true)"
+grep -q '"type":"done"' "$WORK/stream.jsonl" || fail "stream ended without a done event"
+grep -q '"state":"done"' "$WORK/stream.jsonl" || fail "job did not finish clean: $(tail -n1 "$WORK/stream.jsonl")"
+[ "$CELLS" -eq 4 ] || fail "streamed $CELLS cell events, want 4"
+
+echo "serve-smoke: downloading CSV"
+curl -sf "http://$ADDR/jobs/$ID/csv" > "$WORK/result.csv" || fail "CSV download failed"
+head -n1 "$WORK/result.csv" | grep -q '^machine,' || fail "CSV missing header"
+LINES="$(wc -l < "$WORK/result.csv")"
+[ "$LINES" -eq 5 ] || fail "CSV has $LINES lines, want header + 4 cells"
+
+echo "serve-smoke: checking health and metrics"
+curl -sf "http://$ADDR/readyz" > /dev/null || fail "/readyz not ready"
+METRICS="$(curl -sf "http://$ADDR/metrics")" || fail "/metrics failed"
+printf '%s\n' "$METRICS" | grep -q '^mcserved_cells_done_total 4$' \
+    || fail "/metrics does not report 4 completed cells"
+printf '%s\n' "$METRICS" | grep -q '^mcserved_jobs{state="done"} 1$' \
+    || fail "/metrics does not report the finished job"
+printf '%s\n' "$METRICS" | grep -q '^mcserved_queue_depth ' \
+    || fail "/metrics missing queue depth"
+
+echo "serve-smoke: graceful shutdown"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null && STATUS=0 || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
+grep -q "drained cleanly" "$WORK/served.log" || fail "daemon log missing clean-drain line"
+SRV_PID=""
+
+echo "serve-smoke: PASS"
