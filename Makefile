@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-e21 serve-smoke clean
+.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/shardlru/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
@@ -35,7 +35,20 @@ bench:
 # arena vs a trace-regenerating baseline) and BENCH_PR5.json (set
 # sampling: quick-matrix speedup and validation errors at 1/8).
 bench-json:
-	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSON|TestEmitBenchJSONPR5' -count=1 -v .
+	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSON$$|TestEmitBenchJSONPR5' -count=1 -v .
+
+# bench-contention regenerates BENCH_PR7.json: 32 goroutines hammering
+# the warm run memo and warm trace arena, global-lock baseline vs the
+# lock-striped sharded caches (throughput and aggregate mutex wait;
+# see perf_contention_test.go for the methodology).
+bench-contention:
+	MC_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSONPR7 -count=1 -v .
+
+# bench-contention-smoke is the CI-safe structural pass: tiny op
+# counts, no throughput thresholds, verifies the harness and the
+# report schema (also part of the ordinary test suite).
+bench-contention-smoke:
+	$(GO) test -run TestContentionSmoke -short -count=1 -v .
 
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:

@@ -168,6 +168,13 @@ func run(args []string, out io.Writer) error {
 	if *expID != "" {
 		ids = []string{*expID}
 	}
+	// The whole run shares one engine, so the end-of-run summary on
+	// stderr reports how its run memo and trace arena performed across
+	// every experiment (mcsweep prints the same line per sweep).
+	defer func() {
+		fmt.Fprintf(os.Stderr, "mcbench: %s\n",
+			engine.CacheSummary(opts.Engine.MemoStats(), opts.Engine.Store().Stats()))
+	}()
 	for _, id := range ids {
 		res, err := experiments.Run(id, opts)
 		if err != nil {

@@ -308,7 +308,13 @@ func TestHealthReadyMetrics(t *testing.T) {
 		"mcserved_queue_depth",
 		"mcserved_cells_per_second",
 		"mcserved_memo_hits_total",
+		"mcserved_memo_duplicates_total",
+		"mcserved_memo_shards",
+		"mcserved_memo_shard_entries_max",
 		"mcserved_trace_bytes_in_use",
+		"mcserved_trace_demotions_total",
+		"mcserved_trace_shards",
+		"mcserved_trace_shard_entries_min",
 		"mcserved_jobs_recovered_total 0",
 	} {
 		if !bytes.Contains(body, []byte(metric)) {

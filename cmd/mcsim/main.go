@@ -114,9 +114,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err = engine.New(engine.Config{}).RunOneSampled(context.Background(), engine.Cell{
+		eng := engine.New(engine.Config{})
+		rep, err = eng.RunOneSampled(context.Background(), engine.Cell{
 			Machine: cfg.Name, Config: cfg, App: prof.Name, Profile: prof, Seed: *seed,
 		}, *accesses, 0, spec)
+		// One-shot runs still report the shared caching layer: the line is
+		// mostly misses here, but it keeps the four front ends' summary
+		// format identical for scripts that scrape it.
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %s\n",
+				engine.CacheSummary(eng.MemoStats(), eng.Store().Stats()))
+		}
 	}
 	if err != nil {
 		return err

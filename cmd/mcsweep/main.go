@@ -341,11 +341,10 @@ func sweep(ctx context.Context, spec Spec, opt options, w, errOut io.Writer) err
 		return runErr
 	}
 
-	st := sum.Store
 	fmt.Fprintf(errOut,
-		"sweep: %d cells (%d ok, %d failed, %d resumed); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted\n",
+		"sweep: %d cells (%d ok, %d failed, %d resumed, %d memoized); %s\n",
 		sum.Manifest.TotalCells, sum.Manifest.Succeeded, len(sum.Manifest.Failed), sum.Resumed,
-		st.Generated, st.Hits, st.Misses, float64(st.BytesInUse)/(1<<20), st.Evictions)
+		sum.Memoized, engine.CacheSummary(sum.Memo, sum.Store))
 	if opt.checkpointPath != "" {
 		fmt.Fprintf(errOut, "checkpoint: %d cells appended to %s (%d resumed, %d corrupt bytes discarded)\n",
 			sum.CheckpointAppended, opt.checkpointPath, sum.Resumed, sum.CheckpointDiscarded)

@@ -97,11 +97,16 @@ func TestSweepSharedTraceArena(t *testing.T) {
 		t.Fatal(err)
 	}
 	summary := errOut.String()
-	if !strings.Contains(summary, "4 cells (4 ok, 0 failed, 0 resumed)") {
+	if !strings.Contains(summary, "4 cells (4 ok, 0 failed, 0 resumed, 0 memoized)") {
 		t.Fatalf("summary missing cell counts:\n%s", summary)
 	}
 	if !strings.Contains(summary, "2 generated, 2 hits, 2 misses") {
 		t.Fatalf("summary missing trace-arena counters (want 2 generated, 2 hits, 2 misses):\n%s", summary)
+	}
+	// The sharded-cache summary surfaces the run memo alongside the
+	// arena: 4 distinct cells mean 4 memo misses and no hits.
+	if !strings.Contains(summary, "run memo: 0 hits, 4 misses") {
+		t.Fatalf("summary missing run-memo counters:\n%s", summary)
 	}
 }
 

@@ -310,6 +310,19 @@ type Summary struct {
 	CheckpointAppended  int
 	CheckpointDiscarded int64
 	Store               tracestore.Stats
+	// Memo is the run memo's counter snapshot at the end of the
+	// execution (cumulative for the engine, like Store).
+	Memo MemoStats
+}
+
+// CacheSummary renders the engine's two cache snapshots as the one-line
+// form every front end's run summary uses, so mcsweep, mcbench and
+// mcsim report the memo and arena identically.
+func CacheSummary(memo MemoStats, st tracestore.Stats) string {
+	return fmt.Sprintf(
+		"run memo: %d hits, %d misses, %d dup adds, %d evicted, %d entries (%d shards); trace arena: %d generated, %d hits, %d misses, %.1f MB resident, %d evicted, %d demoted (%d shards)",
+		memo.Hits, memo.Misses, memo.Duplicates, memo.Evictions, memo.Entries, memo.Shards,
+		st.Generated, st.Hits, st.Misses, float64(st.BytesInUse)/(1<<20), st.Evictions, st.Demotions, st.Shards)
 }
 
 // Execute runs the plan on the engine's worker pool and feeds every
@@ -428,6 +441,7 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 	sum.Resumed, sum.Memoized = nResumed.Load(), nMemoized.Load()
 	sum.Manifest = runner.BuildManifest(outcomes)
 	sum.Store = e.store.Stats()
+	sum.Memo = e.memo.stats()
 
 	// Sinks see successful results in plan order, so identical plans
 	// produce identical sink output regardless of worker count.

@@ -1,11 +1,10 @@
 package engine
 
 import (
-	"container/list"
-	"sync"
-	"sync/atomic"
+	"encoding/binary"
 
 	"mobilecache/internal/checkpoint"
+	"mobilecache/internal/shardlru"
 	"mobilecache/internal/sim"
 )
 
@@ -21,19 +20,17 @@ const DefaultMemoCapacity = 1024
 // config under an unchanged name was served a stale report — and it
 // grew without bound. Keys here are the same content hashes the
 // checkpoint journal uses (checkpoint.KeyOf over the machine config,
-// profile, seed and run lengths), and an LRU bound evicts the coldest
-// entry once capacity is reached.
+// profile, seed and run lengths).
+//
+// The memo is a lock-striped sharded LRU (internal/shardlru): the
+// content hash picks a shard, the capacity splits across shards, and
+// concurrent workers hitting a warm memo never serialize on a global
+// mutex. Eviction is therefore per-shard LRU, not global LRU — a
+// synchronization change only; the reports a hit returns are
+// byte-identical either way.
 type memo struct {
-	mu  sync.Mutex
-	cap int
-	// order is an LRU list of *memoEntry, most recent first; byKey
-	// indexes it.
-	order *list.List
-	byKey map[checkpoint.Key]*list.Element
-	// hits/misses/evictions feed MemoStats (the daemon's /metrics).
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	cap   int
+	cache *shardlru.Cache[checkpoint.Key, sim.RunReport] // nil when disabled
 }
 
 // MemoStats counts how the run memo performed; reads are safe at any
@@ -42,82 +39,96 @@ type MemoStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Entries   int
+	// Duplicates counts adds that found the key already present — two
+	// workers racing the same cell both simulate and both add; the
+	// loser's add collapses onto the incumbent and is counted here, so
+	// hit/miss/entry arithmetic reconciles with lookup counts
+	// (misses = entries added + duplicates, for successful runs).
+	Duplicates uint64
+	Entries    int
+	// Shards is the stripe count; MaxShardEntries/MinShardEntries the
+	// most and least populated stripes (the /metrics skew gauge).
+	Shards          int
+	MaxShardEntries int
+	MinShardEntries int
 }
 
-type memoEntry struct {
-	key checkpoint.Key
-	rep sim.RunReport
+// memoHash shards a checkpoint key by its leading bytes — the key is a
+// SHA-256 content hash, already uniformly distributed.
+func memoHash(k checkpoint.Key) uint64 {
+	return binary.LittleEndian.Uint64(k[:8])
 }
 
 // newMemo builds a memo with the Config.MemoCapacity semantics:
-// capacity > 0 as given, 0 the default, < 0 disabled.
+// capacity > 0 as given, 0 the default, < 0 disabled. The stripe count
+// follows GOMAXPROCS (clamped by the capacity so no stripe's budget
+// slice is empty).
 func newMemo(capacity int) *memo {
+	return newMemoSharded(capacity, 0)
+}
+
+// newMemoSharded is newMemo with an explicit stripe count (tests pin
+// exact single-stripe LRU order with shards = 1).
+func newMemoSharded(capacity, shards int) *memo {
 	if capacity == 0 {
 		capacity = DefaultMemoCapacity
 	}
 	if capacity < 0 {
 		return &memo{} // disabled: get always misses, add is a no-op
 	}
-	return &memo{cap: capacity, order: list.New(), byKey: make(map[checkpoint.Key]*list.Element)}
+	return &memo{
+		cap: capacity,
+		cache: shardlru.New(shardlru.Config[checkpoint.Key, sim.RunReport]{
+			Shards: shards,
+			Budget: int64(capacity),
+			Hash:   memoHash,
+		}),
+	}
 }
 
 // get returns the memoized report for key, refreshing its recency.
+// A disabled memo counts nothing.
 func (m *memo) get(key checkpoint.Key) (sim.RunReport, bool) {
-	if m.cap == 0 {
+	if m.cache == nil {
 		return sim.RunReport{}, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	el, ok := m.byKey[key]
-	if !ok {
-		m.misses.Add(1)
-		return sim.RunReport{}, false
-	}
-	m.hits.Add(1)
-	m.order.MoveToFront(el)
-	return el.Value.(*memoEntry).rep, true
+	return m.cache.Get(key)
 }
 
-// add memoizes one successful run, evicting the least recently used
-// entry when over capacity. Duplicate adds (two workers racing the
-// same cell) collapse to one entry; the reports are identical because
-// runs are deterministic.
+// add memoizes one successful run (unit cost; the budget is an entry
+// count), evicting the least recently used entry in the key's shard
+// when over its capacity slice. Duplicate adds — two workers racing
+// the same cell — collapse to one entry and are counted; the reports
+// are identical because runs are deterministic.
 func (m *memo) add(key checkpoint.Key, rep sim.RunReport) {
-	if m.cap == 0 {
+	if m.cache == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if el, ok := m.byKey[key]; ok {
-		m.order.MoveToFront(el)
-		return
-	}
-	m.byKey[key] = m.order.PushFront(&memoEntry{key: key, rep: rep})
-	for m.order.Len() > m.cap {
-		el := m.order.Back()
-		m.order.Remove(el)
-		delete(m.byKey, el.Value.(*memoEntry).key)
-		m.evictions.Add(1)
-	}
+	m.cache.Add(key, rep, 1)
 }
 
-// stats snapshots the memo counters.
+// stats snapshots the memo counters, aggregated across shards.
 func (m *memo) stats() MemoStats {
+	if m.cache == nil {
+		return MemoStats{}
+	}
+	st := m.cache.Stats()
 	return MemoStats{
-		Hits:      m.hits.Load(),
-		Misses:    m.misses.Load(),
-		Evictions: m.evictions.Load(),
-		Entries:   m.len(),
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		Duplicates:      st.Duplicates,
+		Entries:         st.Entries,
+		Shards:          st.Shards,
+		MaxShardEntries: st.MaxShardEntries,
+		MinShardEntries: st.MinShardEntries,
 	}
 }
 
 // len reports the live entry count (for tests).
 func (m *memo) len() int {
-	if m.cap == 0 {
+	if m.cache == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.order.Len()
+	return m.cache.Len()
 }

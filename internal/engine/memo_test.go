@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"mobilecache/internal/sim"
@@ -70,8 +71,10 @@ func TestMemoContentHashNoStaleness(t *testing.T) {
 
 // TestMemoBounded: the memo is an LRU with a hard capacity; filling it
 // past capacity evicts the least recently used key rather than growing.
+// A single stripe pins the exact global-LRU order the pre-shard memo
+// had; TestMemoShardedBound covers the striped capacity split.
 func TestMemoBounded(t *testing.T) {
-	m := newMemo(3)
+	m := newMemoSharded(3, 1)
 	key := func(i int) [32]byte {
 		var k [32]byte
 		k[0] = byte(i)
@@ -101,7 +104,7 @@ func TestMemoBounded(t *testing.T) {
 // TestMemoLRUTouchOnGet: a get refreshes recency, changing which key
 // the next insertion evicts.
 func TestMemoLRUTouchOnGet(t *testing.T) {
-	m := newMemo(2)
+	m := newMemoSharded(2, 1)
 	var a, b, c [32]byte
 	a[0], b[0], c[0] = 1, 2, 3
 	m.add(a, sim.RunReport{Machine: "a"})
@@ -155,5 +158,117 @@ func TestMemoDisabled(t *testing.T) {
 func TestMemoDefaultCapacity(t *testing.T) {
 	if m := newMemo(0); m.cap != DefaultMemoCapacity {
 		t.Fatalf("newMemo(0).cap = %d, want %d", m.cap, DefaultMemoCapacity)
+	}
+}
+
+// TestMemoDuplicates: two workers racing one cell both simulate and
+// both add; the second add must collapse onto the incumbent and be
+// counted, so lookup/entry arithmetic reconciles in /metrics.
+func TestMemoDuplicates(t *testing.T) {
+	m := newMemo(8)
+	var k [32]byte
+	k[0] = 1
+	m.add(k, sim.RunReport{Machine: "first"})
+	m.add(k, sim.RunReport{Machine: "second"})
+	st := m.stats()
+	if st.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1", st.Duplicates)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d after duplicate add, want 1", st.Entries)
+	}
+	if r, ok := m.get(k); !ok || r.Machine != "first" {
+		t.Fatalf("duplicate add replaced the incumbent: %+v ok=%v", r, ok)
+	}
+}
+
+// TestMemoShardedBound: with the default stripe count the capacity is
+// split across shards; total entries never exceed the capacity and the
+// stats aggregate stays coherent with the per-shard occupancy.
+func TestMemoShardedBound(t *testing.T) {
+	const capacity = 64
+	m := newMemo(capacity)
+	key := func(i int) [32]byte {
+		var k [32]byte
+		k[0], k[1], k[2] = byte(i), byte(i>>8), byte(i>>16)
+		return k
+	}
+	for i := 0; i < 10*capacity; i++ {
+		m.add(key(i), sim.RunReport{})
+	}
+	st := m.stats()
+	if st.Entries > capacity {
+		t.Fatalf("memo holds %d entries past capacity %d", st.Entries, capacity)
+	}
+	if st.Shards < 1 || st.MaxShardEntries < st.MinShardEntries {
+		t.Fatalf("shard occupancy incoherent: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("%d adds into capacity %d evicted nothing", 10*capacity, capacity)
+	}
+}
+
+// TestMemoStatsConcurrent is the -race snapshot check for the sharded
+// memo: lookups and adds from many goroutines with Stats() scraped
+// throughout; every snapshot keeps the capacity bound and monotone
+// counters, and the quiescent totals reconcile exactly.
+func TestMemoStatsConcurrent(t *testing.T) {
+	const (
+		workers  = 8
+		rounds   = 1500
+		distinct = 48
+		capacity = 32
+	)
+	m := newMemo(capacity)
+	key := func(i int) [32]byte {
+		var k [32]byte
+		k[0], k[1] = byte(i), byte(i>>8)
+		return k
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		var last MemoStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := m.stats()
+			if st.Entries > capacity {
+				t.Errorf("snapshot holds %d entries past capacity %d", st.Entries, capacity)
+			}
+			if st.Hits < last.Hits || st.Misses < last.Misses || st.Evictions < last.Evictions {
+				t.Errorf("counter went backwards: %+v then %+v", last, st)
+			}
+			last = st
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := key((w*rounds + r) % distinct)
+				if _, ok := m.get(k); !ok {
+					m.add(k, sim.RunReport{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	st := m.stats()
+	if got := st.Hits + st.Misses; got != workers*rounds {
+		t.Fatalf("hits %d + misses %d = %d, want %d lookups", st.Hits, st.Misses, got, workers*rounds)
+	}
+	if adds := st.Misses - st.Duplicates; adds != st.Evictions+uint64(st.Entries) {
+		t.Fatalf("adds %d != evictions %d + entries %d", adds, st.Evictions, st.Entries)
 	}
 }

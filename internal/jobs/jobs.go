@@ -328,8 +328,12 @@ type Stats struct {
 // StoreStats mirrors the trace arena counters (tracestore.Stats) so
 // metrics callers need no tracestore import.
 type StoreStats struct {
-	Hits, Misses, Generated, Evictions uint64
-	BytesInUse                         int64
+	Hits, Misses, Generated, Evictions, Demotions uint64
+	BytesInUse                                    int64
+	// Entries and the shard occupancy spread expose how evenly the
+	// lock-striped arena is loaded (MaxShardEntries/MinShardEntries is
+	// the skew /metrics graphs).
+	Entries, Shards, MaxShardEntries, MinShardEntries int
 }
 
 // Manager owns the job store, the shared engine and the fair gate.
@@ -722,7 +726,9 @@ func (m *Manager) Stats() Stats {
 	ts := m.eng.Store().Stats()
 	st.Store = StoreStats{
 		Hits: ts.Hits, Misses: ts.Misses, Generated: ts.Generated,
-		Evictions: ts.Evictions, BytesInUse: ts.BytesInUse,
+		Evictions: ts.Evictions, Demotions: ts.Demotions, BytesInUse: ts.BytesInUse,
+		Entries: ts.Entries, Shards: ts.Shards,
+		MaxShardEntries: ts.MaxShardEntries, MinShardEntries: ts.MinShardEntries,
 	}
 	for _, s := range m.List() {
 		st.ByState[s.State]++

@@ -19,15 +19,29 @@
 // zero-allocation decoding cursor. Under budget pressure the store
 // first demotes least-recently-used traces from hot to packed-only,
 // then evicts them entirely.
+//
+// Synchronization is lock-striped (internal/shardlru): the trace key
+// hashes to one of a small number of shards, each with its own mutex,
+// LRU list and slice of the byte budget, so concurrent workers warming
+// different traces — or hitting different warm ones — never serialize
+// on a global mutex. Eviction and demotion decisions are therefore
+// shard-local (an LRU-locality change only; the streams a hit returns
+// are byte-identical either way), and derived variants (DeriveTrace)
+// hash like any other key, so a base trace and its variants spread
+// across shards independently.
 package tracestore
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
+	"mobilecache/internal/shardlru"
 	"mobilecache/internal/trace"
 	"mobilecache/internal/workload"
 )
@@ -36,6 +50,12 @@ import (
 // tiers — roughly a dozen full-scale app traces in hot decoded form,
 // or a hundred demoted to their packed streams).
 const DefaultBudgetBytes = 256 << 20
+
+// DefaultShards is the arena's default stripe count. Traces are few
+// and large (tens of MB hot), so the count stays small: each shard's
+// slice of the byte budget must still hold whole hot traces, or
+// striping the budget would force demotions a global budget wouldn't.
+const DefaultShards = 8
 
 // Key identifies one generated trace. Two cells with equal keys replay
 // byte-identical streams regardless of the machine under test.
@@ -58,6 +78,22 @@ type Key struct {
 	// trace and its derived streams coexist in the arena without
 	// aliasing.
 	Variant string
+}
+
+// shardHash spreads a key across shards: the profile digest is already
+// uniform, and the remaining fields (seed, lengths, variant) are mixed
+// in so sibling traces of one profile land on different stripes.
+func shardHash(k Key) uint64 {
+	h := binary.LittleEndian.Uint64(k.Digest[:8])
+	h = shardlru.Mix64(h ^ k.Seed)
+	h = shardlru.Mix64(h ^ k.PhaseLen)
+	h = shardlru.Mix64(h ^ uint64(k.Accesses))
+	if k.Variant != "" {
+		f := fnv.New64a()
+		f.Write([]byte(k.Variant))
+		h = shardlru.Mix64(h ^ f.Sum64())
+	}
+	return h
 }
 
 // KeyFor derives the store key a full-trace run of prof uses, applying
@@ -98,31 +134,39 @@ type Stats struct {
 	// BytesInUse and Entries describe the current resident set.
 	BytesInUse int64
 	Entries    int
+	// Shards is the stripe count; MaxShardEntries/MinShardEntries the
+	// most and least populated stripes (the /metrics skew gauge).
+	Shards          int
+	MaxShardEntries int
+	MinShardEntries int
 }
 
 // entry is one cached trace plus its singleflight state: ready is
 // closed once packed/err are final, and waiters block on it outside
-// the store lock.
+// the shard lock.
 type entry struct {
-	key    Key
-	ready  chan struct{}
+	key   Key
+	ready chan struct{}
+
+	// packed, err and meta are written by the generating goroutine
+	// before ready closes and immutable afterwards; waiters read them
+	// only after <-ready (the close is the happens-before edge).
 	packed *trace.Packed
 	err    error
 	// meta is the opaque metadata a DeriveTrace build returned (nil
-	// for base traces); immutable once ready closes.
+	// for base traces).
 	meta any
 
 	// decoded is the hot-tier form: the materialized record slice the
 	// generator produced, kept alongside the packed streams so replays
 	// can skip per-record decoding entirely. Under budget pressure the
-	// store demotes entries to packed-only (see evictOverBudget) by
+	// shard demotes entries to packed-only (the cache's Demote hook) by
 	// dropping this slice; demoted traces replay through a packed
-	// cursor instead. Readers treat the slice as immutable.
+	// cursor instead. Both fields are guarded by the entry's shard lock
+	// once the entry is committed. Readers treat the slice as
+	// immutable.
 	decoded      []trace.Access
 	decodedBytes int64
-
-	prev, next *entry // LRU list links; nil until generation completes
-	inList     bool
 }
 
 // sizeBytes is the entry's total charge against the LRU budget.
@@ -133,42 +177,79 @@ func (e *entry) sizeBytes() int64 {
 	return e.packed.SizeBytes() + e.decodedBytes
 }
 
-// Store memoizes packed traces with singleflight generation and an LRU
-// byte budget. The zero value is not usable; call New.
+// Store memoizes packed traces with singleflight generation and a
+// lock-striped LRU byte budget. The zero value is not usable; call New.
 type Store struct {
-	mu      sync.Mutex
-	budget  int64
-	entries map[Key]*entry
-	head    *entry // most recently used
-	tail    *entry // least recently used
-	stats   Stats
+	cache *shardlru.Cache[Key, *entry]
+
+	// generated/derived count completed builds; they live here (not in
+	// the sharded cache) because the cache only sees lookups and
+	// insertions, not which insertions came from a derive transform.
+	generated atomic.Uint64
+	derived   atomic.Uint64
 
 	// onGenerate, when set, observes every generation start (test hook
 	// for counting deduplicated work).
+	hookMu     sync.Mutex
 	onGenerate func(Key)
 }
 
-// New builds a store with the given LRU byte budget; budgetBytes <= 0
-// means unlimited.
+// New builds a store with the given LRU byte budget and the default
+// stripe count; budgetBytes <= 0 means unlimited.
 func New(budgetBytes int64) *Store {
-	return &Store{budget: budgetBytes, entries: map[Key]*entry{}}
+	return NewSharded(budgetBytes, DefaultShards)
+}
+
+// NewSharded is New with an explicit stripe count (rounded to a power
+// of two; see shardlru.Config). Tests pin exact global-LRU eviction
+// order with shards = 1; the contention benchmark uses the same
+// configuration as its global-lock baseline.
+func NewSharded(budgetBytes int64, shards int) *Store {
+	s := &Store{}
+	s.cache = shardlru.New(shardlru.Config[Key, *entry]{
+		Shards: shards,
+		Budget: budgetBytes, // <= 0 is unlimited in both layers
+		Hash:   shardHash,
+		Demote: func(_ Key, e *entry) int64 {
+			r := e.decodedBytes
+			e.decoded, e.decodedBytes = nil, 0
+			return r
+		},
+	})
+	return s
 }
 
 // SetGenerateHook installs fn to be called at the start of every trace
 // generation (nil removes it). Tests use it to prove deduplication.
 func (s *Store) SetGenerateHook(fn func(Key)) {
-	s.mu.Lock()
+	s.hookMu.Lock()
 	s.onGenerate = fn
-	s.mu.Unlock()
+	s.hookMu.Unlock()
 }
 
-// Stats returns a snapshot of the counters.
+func (s *Store) generateHook() func(Key) {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.onGenerate
+}
+
+// Stats returns a snapshot of the counters, aggregated across shards
+// without a global lock.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = len(s.entries)
-	return st
+	cs := s.cache.Stats()
+	return Stats{
+		Hits:            cs.Hits,
+		Misses:          cs.Misses,
+		Generated:       s.generated.Load(),
+		Derived:         s.derived.Load(),
+		Evictions:       cs.Evictions,
+		Demotions:       cs.Demotions,
+		BytesInUse:      cs.CostInUse,
+		Entries:         cs.Entries,
+		Shards:          cs.Shards,
+		MaxShardEntries: cs.MaxShardEntries,
+		MinShardEntries: cs.MinShardEntries,
+	}
 }
 
 // Trace is one store result: the packed form is always present, and
@@ -211,64 +292,26 @@ func (s *Store) GetTrace(prof workload.Profile, seed uint64, accesses int) (Trac
 		return Trace{}, fmt.Errorf("tracestore: accesses %d must be positive", accesses)
 	}
 	key := KeyFor(prof, seed, accesses)
-
-	s.mu.Lock()
-	if e, ok := s.entries[key]; ok {
-		s.stats.Hits++
-		s.moveToFront(e)
-		s.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			return Trace{}, e.err
+	return s.getOrBuild(key, func() (*trace.Packed, []trace.Access, any, error) {
+		if hook := s.generateHook(); hook != nil {
+			hook(key)
 		}
-		// packed and err are immutable once ready closes, but decoded
-		// can be demoted at any time — re-read it under the lock.
-		s.mu.Lock()
-		recs := e.decoded
-		s.mu.Unlock()
-		return Trace{Packed: e.packed, Records: recs}, nil
-	}
-	e := &entry{key: key, ready: make(chan struct{})}
-	s.entries[key] = e
-	s.stats.Misses++
-	hook := s.onGenerate
-	s.mu.Unlock()
-
-	if hook != nil {
-		hook(key)
-	}
-	packed, recs, err := generate(prof, seed, key)
-
-	s.mu.Lock()
-	e.packed, e.err = packed, err
-	if err != nil {
-		// Failures are not cached: a later Get retries.
-		delete(s.entries, key)
-	} else {
-		e.decoded = recs
-		e.decodedBytes = int64(len(recs)) * int64(unsafe.Sizeof(trace.Access{}))
-		s.stats.Generated++
-		s.stats.BytesInUse += e.sizeBytes()
-		s.pushFront(e)
-		s.evictOverBudget(e)
-		recs = e.decoded // may be nil if the budget demoted even e
-	}
-	s.mu.Unlock()
-	close(e.ready)
-	return Trace{Packed: packed, Records: recs}, err
+		p, recs, err := generate(prof, seed, key)
+		return p, recs, nil, err
+	})
 }
 
 // DeriveTrace returns a derived form of the (prof, seed, accesses)
 // trace — a deterministic per-record transform like set-sample
 // filtering — built at most once per variant tag and cached in the
-// same LRU as base traces (hot decoded forms demote first, whole
-// entries evict last; an evicted derived trace is rebuilt from its
-// base on the next request). build receives the base trace and returns
-// the derived packed and decoded forms plus opaque metadata the store
-// hands back on every hit (e.g. the filter's measured statistics —
-// anything a replay of the derived stream alone could not recover).
-// The variant tag must capture the transform's full identity: two
-// different transforms under one tag would alias.
+// same lock-striped LRU as base traces (hot decoded forms demote
+// first, whole entries evict last; an evicted derived trace is rebuilt
+// from its base on the next request). build receives the base trace
+// and returns the derived packed and decoded forms plus opaque
+// metadata the store hands back on every hit (e.g. the filter's
+// measured statistics — anything a replay of the derived stream alone
+// could not recover). The variant tag must capture the transform's
+// full identity: two different transforms under one tag would alias.
 //
 // Like Get, concurrent calls for one (key, variant) share a single
 // build, and failures are not cached.
@@ -283,45 +326,66 @@ func (s *Store) DeriveTrace(prof workload.Profile, seed uint64, accesses int, va
 	}
 	key := KeyFor(prof, seed, accesses)
 	key.Variant = variant
+	tr, meta, err := s.getOrBuildMeta(key, func() (*trace.Packed, []trace.Access, any, error) {
+		return build(base)
+	}, &s.derived)
+	return tr, meta, err
+}
 
-	s.mu.Lock()
-	if e, ok := s.entries[key]; ok {
-		s.stats.Hits++
-		s.moveToFront(e)
-		s.mu.Unlock()
+// getOrBuild is getOrBuildMeta discarding the metadata (base traces
+// carry none).
+func (s *Store) getOrBuild(key Key, build func() (*trace.Packed, []trace.Access, any, error)) (Trace, error) {
+	tr, _, err := s.getOrBuildMeta(key, build, nil)
+	return tr, err
+}
+
+// getOrBuildMeta is the store's single lookup/build path: join (or
+// start) the singleflight entry for key, run build outside any lock on
+// a miss, commit the result into the key's shard and return the
+// coherent hot/packed forms. derived, when non-nil, is bumped alongside
+// the generated counter on successful builds.
+func (s *Store) getOrBuildMeta(key Key, build func() (*trace.Packed, []trace.Access, any, error),
+	derived *atomic.Uint64) (Trace, any, error) {
+	e := &entry{key: key, ready: make(chan struct{})}
+	got, reserved := s.cache.GetOrReserve(key, e)
+	if !reserved {
+		e = got
 		<-e.ready
 		if e.err != nil {
 			return Trace{}, nil, e.err
 		}
-		s.mu.Lock()
-		recs := e.decoded
-		s.mu.Unlock()
+		// packed, err and meta are immutable once ready closes, but
+		// decoded can be demoted at any time — re-read it under the
+		// shard lock. The entry may have been evicted (or even replaced)
+		// since the lookup; its packed form stays valid regardless, and
+		// a demoted or evicted entry simply replays packed.
+		var recs []trace.Access
+		s.cache.WithShardLock(key, func() { recs = e.decoded })
 		return Trace{Packed: e.packed, Records: recs}, e.meta, nil
 	}
-	e := &entry{key: key, ready: make(chan struct{})}
-	s.entries[key] = e
-	s.stats.Misses++
-	s.mu.Unlock()
 
-	packed, recs, meta, err := build(base)
+	packed, recs, meta, err := build()
 
-	s.mu.Lock()
 	e.packed, e.err, e.meta = packed, err, meta
 	if err != nil {
-		delete(s.entries, key)
-	} else {
-		e.decoded = recs
-		e.decodedBytes = int64(len(recs)) * int64(unsafe.Sizeof(trace.Access{}))
-		s.stats.Generated++
-		s.stats.Derived++
-		s.stats.BytesInUse += e.sizeBytes()
-		s.pushFront(e)
-		s.evictOverBudget(e)
-		recs = e.decoded
+		// Failures are not cached: a later Get retries.
+		s.cache.Delete(key)
+		close(e.ready)
+		return Trace{}, nil, err
 	}
-	s.mu.Unlock()
+	e.decoded = recs
+	e.decodedBytes = int64(len(recs)) * int64(unsafe.Sizeof(trace.Access{}))
+	s.generated.Add(1)
+	if derived != nil {
+		derived.Add(1)
+	}
+	// Commit charges the entry and may demote it on the spot (its shard
+	// budget can be smaller than the hot form); re-read decoded under
+	// the shard lock for a coherent return.
+	s.cache.Commit(key, e.sizeBytes())
+	s.cache.WithShardLock(key, func() { recs = e.decoded })
 	close(e.ready)
-	return Trace{Packed: packed, Records: recs}, meta, err
+	return Trace{Packed: packed, Records: recs}, meta, nil
 }
 
 // generate runs the workload generator for exactly the stream
@@ -342,76 +406,4 @@ func generate(prof workload.Profile, seed uint64, key Key) (*trace.Packed, []tra
 		recs = append(recs, a)
 	}
 	return trace.PackSlice(recs), recs, nil
-}
-
-// moveToFront marks e most recently used (no-op while it is still
-// generating and not yet in the list).
-func (s *Store) moveToFront(e *entry) {
-	if !e.inList || s.head == e {
-		return
-	}
-	s.unlink(e)
-	s.pushFront(e)
-}
-
-func (s *Store) pushFront(e *entry) {
-	e.prev, e.next = nil, s.head
-	if s.head != nil {
-		s.head.prev = e
-	}
-	s.head = e
-	if s.tail == nil {
-		s.tail = e
-	}
-	e.inList = true
-}
-
-func (s *Store) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	e.inList = false
-}
-
-// evictOverBudget brings the resident bytes back under the budget in
-// two stages, least recently used first: demote entries to packed-only
-// by dropping their hot decoded form (an order of magnitude smaller,
-// still replayable), then evict whole entries. The just-inserted entry
-// (keep) survives both stages even when it alone exceeds the budget —
-// its caller is about to replay it. Evicted traces remain valid for
-// goroutines already holding them; the store merely forgets them.
-func (s *Store) evictOverBudget(keep *entry) {
-	if s.budget <= 0 {
-		return
-	}
-	for e := s.tail; s.stats.BytesInUse > s.budget && e != nil; e = e.prev {
-		if e == keep || e.decoded == nil {
-			continue
-		}
-		s.stats.BytesInUse -= e.decodedBytes
-		e.decoded, e.decodedBytes = nil, 0
-		s.stats.Demotions++
-	}
-	for s.stats.BytesInUse > s.budget && s.tail != nil && s.tail != keep {
-		victim := s.tail
-		s.unlink(victim)
-		delete(s.entries, victim.key)
-		s.stats.BytesInUse -= victim.sizeBytes()
-		s.stats.Evictions++
-	}
-	// keep is exempt from eviction, not from demotion: if it alone
-	// still busts the budget, its packed form is what stays resident.
-	if s.stats.BytesInUse > s.budget && keep != nil && keep.decoded != nil {
-		s.stats.BytesInUse -= keep.decodedBytes
-		keep.decoded, keep.decodedBytes = nil, 0
-		s.stats.Demotions++
-	}
 }

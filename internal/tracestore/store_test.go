@@ -203,6 +203,9 @@ func TestGetTraceTiers(t *testing.T) {
 	}
 }
 
+// TestLRUEviction pins the eviction order within one stripe (a
+// single-shard store is exactly the global-lock LRU the striped store
+// replaces); TestShardedStatsConsistency covers the striped budget.
 func TestLRUEviction(t *testing.T) {
 	prof := testProfile("app")
 	s := New(0)
@@ -213,7 +216,7 @@ func TestLRUEviction(t *testing.T) {
 	per := one.SizeBytes()
 
 	// Budget fits two traces but not three.
-	s = New(2*per + per/2)
+	s = NewSharded(2*per+per/2, 1)
 	for seed := uint64(1); seed <= 3; seed++ {
 		if _, err := s.Get(prof, seed, 10_000); err != nil {
 			t.Fatal(err)
@@ -398,5 +401,123 @@ func TestDeriveTrace(t *testing.T) {
 	}
 	if got := s.Stats().Derived; got != 2 {
 		t.Fatalf("Derived = %d, want 2", got)
+	}
+}
+
+// TestShardedStatsConsistency is the -race snapshot check for the
+// striped arena: concurrent warm hits, cold generations and derive
+// builds across many keys, with Stats() scraped throughout. Every
+// snapshot keeps its invariants (bytes within budget, counters
+// monotone, skew coherent) and the quiescent totals reconcile:
+// hits + misses == lookups issued.
+func TestShardedStatsConsistency(t *testing.T) {
+	prof := testProfile("app")
+	const (
+		workers  = 8
+		rounds   = 40
+		seeds    = 12
+		accesses = 2000
+	)
+	// Budget sized so demotions and evictions both happen: a few packed
+	// traces fit, the hot decoded forms mostly do not.
+	probe := New(0)
+	p, err := probe.Get(prof, 1, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 6 * p.SizeBytes()
+	s := NewSharded(budget, 4)
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		var last Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.Stats()
+			if st.Hits < last.Hits || st.Misses < last.Misses ||
+				st.Evictions < last.Evictions || st.Demotions < last.Demotions ||
+				st.Generated < last.Generated {
+				t.Errorf("counter went backwards: %+v then %+v", last, st)
+			}
+			if st.MaxShardEntries < st.MinShardEntries {
+				t.Errorf("snapshot skew inverted: %+v", st)
+			}
+			if st.BytesInUse < 0 {
+				t.Errorf("negative BytesInUse: %+v", st)
+			}
+			last = st
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var lookups atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				seed := uint64((w*rounds+r)%seeds + 1)
+				if r%4 == 3 {
+					// DeriveTrace's base GetTrace is one lookup, the
+					// variant entry another. The build must tolerate a
+					// demoted base (nil Records) by decoding packed.
+					_, _, err := s.DeriveTrace(prof, seed, accesses, "evens",
+						func(base Trace) (*trace.Packed, []trace.Access, any, error) {
+							var out []trace.Access
+							if base.Records != nil {
+								for i, a := range base.Records {
+									if i%2 == 0 {
+										out = append(out, a)
+									}
+								}
+							} else {
+								cur := base.Packed.Cursor()
+								for i := 0; ; i++ {
+									a, ok := cur.Next()
+									if !ok {
+										break
+									}
+									if i%2 == 0 {
+										out = append(out, a)
+									}
+								}
+							}
+							return trace.PackSlice(out), out, nil, nil
+						})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					lookups.Add(2)
+				} else {
+					if _, err := s.GetTrace(prof, seed, accesses); err != nil {
+						t.Error(err)
+						return
+					}
+					lookups.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	st := s.Stats()
+	if got := st.Hits + st.Misses; got != lookups.Load() {
+		t.Fatalf("hits %d + misses %d = %d, want %d lookups", st.Hits, st.Misses, got, lookups.Load())
+	}
+	if st.BytesInUse > budget {
+		t.Fatalf("BytesInUse %d exceeds budget %d", st.BytesInUse, budget)
+	}
+	if st.Generated == 0 || st.Derived == 0 {
+		t.Fatalf("expected both base and derived builds: %+v", st)
 	}
 }
