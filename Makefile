@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 serve-smoke clean
+.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 serve-smoke torture clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/shardlru/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/shardlru/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/faultfs/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/ ./cmd/mcsweep/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
@@ -53,6 +53,15 @@ bench-contention-smoke:
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:
 	$(GO) test -bench=BenchmarkE21RetentionFaults -benchmem
+
+# torture is the crash-consistency harness: it enumerates every
+# filesystem op of a checkpointed sweep and of the daemon job
+# lifecycle, injects ENOSPC / fsync-EIO / short writes / simulated
+# power loss at each one, reboots onto healthy storage and requires a
+# byte-identical CSV or a structured error — never a silent partial.
+# Race-enabled and bounded (single-digit seconds).
+torture:
+	$(GO) test -race -count=1 ./internal/faultfs/ ./internal/faultfs/torture/
 
 # serve-smoke boots cmd/mcserved against a scratch store, submits a
 # tiny sweep over HTTP, streams the results, downloads the CSV, checks

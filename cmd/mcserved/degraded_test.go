@@ -1,0 +1,105 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"mobilecache/internal/faultfs"
+	"mobilecache/internal/jobs"
+)
+
+// toggleFault fails every durable write with ENOSPC while on.
+type toggleFault struct{ on atomic.Bool }
+
+func (f *toggleFault) Fault(op faultfs.Op) *faultfs.Fault {
+	if !f.on.Load() {
+		return nil
+	}
+	switch op.Kind {
+	case faultfs.OpWrite, faultfs.OpSync, faultfs.OpCreate, faultfs.OpDirSync:
+		return &faultfs.Fault{Err: syscall.ENOSPC}
+	}
+	return nil
+}
+
+// TestDegradedEndpoints drives the HTTP surface through a full
+// degraded episode: submissions shed with 503 + Retry-After, /readyz
+// reports degraded, /metrics exposes the counters and gauge, and after
+// the store recovers everything returns to ready.
+func TestDegradedEndpoints(t *testing.T) {
+	fault := &toggleFault{}
+	ts, m := newTestServer(t, jobs.Options{
+		FS:            faultfs.New(fault),
+		ProbeInterval: 10 * time.Millisecond,
+	})
+
+	fault.on.Store(true)
+	// The failing submission itself reports the I/O error.
+	resp := postJob(t, ts, tinySpec, "c")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusBadRequest {
+		t.Logf("first faulted submit: %d", resp.StatusCode)
+	}
+	if !m.Degraded() {
+		t.Fatal("manager not degraded after faulted submission")
+	}
+
+	// Now degraded: submissions shed immediately.
+	resp = postJob(t, ts, tinySpec, "c")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while degraded: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	get := func(path string) (int, string) {
+		r, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		body, _ := io.ReadAll(r.Body)
+		return r.StatusCode, string(body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("/readyz while degraded: %d %q", code, body)
+	}
+	_, metrics := get("/metrics")
+	if !strings.Contains(metrics, "mcserved_degraded 1") {
+		t.Fatalf("metrics missing degraded gauge:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "mcserved_io_errors_total") ||
+		strings.Contains(metrics, "mcserved_io_errors_total 0\n") {
+		t.Fatalf("metrics missing io_errors_total count:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "mcserved_resume_after_fault_total") {
+		t.Fatalf("metrics missing resume_after_fault_total:\n%s", metrics)
+	}
+
+	// Recovery: the probe reopens admission and /readyz returns 200.
+	fault.on.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never recovered after the fault cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz after recovery: %d %q", code, body)
+	}
+	if _, metrics := get("/metrics"); !strings.Contains(metrics, "mcserved_degraded 0") {
+		t.Fatalf("degraded gauge did not clear:\n%s", metrics)
+	}
+	id := submitOK(t, ts, tinySpec, "c")
+	waitState(t, ts, id, "done")
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"mobilecache/internal/engine"
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/jobs"
 )
 
@@ -53,6 +54,7 @@ type options struct {
 	audit         string
 	traceCacheMB  int
 	drainTimeout  time.Duration
+	probeInterval time.Duration
 }
 
 func (o *options) register(fs *flag.FlagSet) {
@@ -68,6 +70,8 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.audit, "audit", "", "invariant audit mode for all simulations (off, sampled, full)")
 	fs.IntVar(&o.traceCacheMB, "trace-cache-mb", 0, "trace arena budget in MiB (0 = engine default)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	fs.DurationVar(&o.probeInterval, "probe-interval", jobs.DefaultProbeInterval,
+		"how often a degraded store is probed before reopening admission")
 }
 
 func (o *options) validate() error {
@@ -100,6 +104,9 @@ func (o *options) validate() error {
 	}
 	if o.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive (got %v)", o.drainTimeout)
+	}
+	if o.probeInterval <= 0 {
+		return fmt.Errorf("-probe-interval must be positive (got %v)", o.probeInterval)
 	}
 	if o.audit != "" {
 		if err := engine.CheckAudit(o.audit); err != nil {
@@ -134,6 +141,21 @@ func run(args []string, out, errOut io.Writer) int {
 		defer restore()
 	}
 
+	// MCSERVED_FAULT is a test hook: a faultfs plan spec (see
+	// faultfs.ParsePlan) injected into the daemon's persistence path so
+	// integration tests and the serve-smoke script can drive a real
+	// degraded→recovered episode without filling a disk.
+	var storeFS faultfs.FS
+	if spec := os.Getenv("MCSERVED_FAULT"); spec != "" {
+		plan, perr := faultfs.ParsePlan(spec)
+		if perr != nil {
+			fmt.Fprintf(errOut, "mcserved: MCSERVED_FAULT: %v\n", perr)
+			return 2
+		}
+		fmt.Fprintf(errOut, "mcserved: MCSERVED_FAULT active: injecting %q into the store\n", spec)
+		storeFS = faultfs.New(plan)
+	}
+
 	mgr, err := jobs.New(jobs.Options{
 		Root:             opt.data,
 		Workers:          opt.workers,
@@ -145,6 +167,8 @@ func run(args []string, out, errOut io.Writer) int {
 		KeepGoing:        opt.keepGoing,
 		TraceBudgetBytes: int64(opt.traceCacheMB) << 20,
 		Log:              errOut,
+		FS:               storeFS,
+		ProbeInterval:    opt.probeInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(errOut, "mcserved: %v\n", err)

@@ -68,6 +68,11 @@ func fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, jobs.ErrDraining):
 		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "30")
+	case errors.Is(err, jobs.ErrDegraded):
+		// Storage cannot make submissions durable; the probe reopens
+		// admission once writes succeed again, so a short retry is right.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "10")
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -190,12 +195,18 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// readyz flips to 503 once draining starts, so load balancers stop
-// routing new work while in-flight cells finish.
+// readyz flips to 503 once draining starts — or while the store is
+// degraded by I/O errors — so load balancers stop routing new work
+// while in-flight cells finish (or storage recovers).
 func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.m.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if s.m.Degraded() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "degraded\n")
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -220,6 +231,13 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("mcserved_cells_failed_total", "Cells that exhausted their attempts.", st.CellsFailed)
 	counter("mcserved_cells_resumed_total", "Cells replayed from checkpoint journals instead of re-simulated.", st.CellsResumed)
 	counter("mcserved_jobs_recovered_total", "Interrupted jobs resumed at startup.", st.JobsRecovered)
+	counter("mcserved_io_errors_total", "Persistence-path I/O faults absorbed (ENOSPC, EIO, crash).", st.IOErrors)
+	counter("mcserved_resume_after_fault_total", "Executions that recovered from a torn checkpoint tail.", st.ResumeAfterFault)
+	degraded := 0.0
+	if st.Degraded {
+		degraded = 1
+	}
+	gauge("mcserved_degraded", "1 while I/O errors have paused admission, else 0.", degraded)
 	rate := 0.0
 	if s := st.Uptime.Seconds(); s > 0 {
 		rate = float64(st.CellsDone) / s

@@ -80,6 +80,7 @@ import (
 	"time"
 
 	"mobilecache/internal/engine"
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/profiling"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sample"
@@ -137,6 +138,9 @@ type options struct {
 	audit          string
 	sampleArg      string
 	sample         sample.Spec
+	// fs, when non-nil, replaces the filesystem under the checkpoint
+	// journal and failure manifest (fault-injection tests only).
+	fs faultfs.FS
 }
 
 // validate rejects nonsensical harness settings up front — a sweep
@@ -174,9 +178,18 @@ func (o *options) validate() error {
 	return nil
 }
 
+// exitIOFault is the exit code for storage faults (ENOSPC, EIO, torn
+// writes): the sweep's journaled work is intact and a -resume rerun
+// completes it once the disk recovers — unlike exit 1, which covers
+// configuration and simulation failures a rerun will hit again.
+const exitIOFault = 3
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsweep:", err)
+		if faultfs.IsIOFault(err) {
+			os.Exit(exitIOFault)
+		}
 		os.Exit(1)
 	}
 }
@@ -230,15 +243,13 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
-	var w io.Writer = out
-	var of *os.File
+	// -o goes through the atomic CSVFile sink: rows accumulate in
+	// memory and land via write-temp/fsync/rename/dirsync, so the
+	// output path never holds a half-written CSV and a full disk
+	// surfaces as an error instead of a truncated file.
+	var sink engine.Sink = engine.NewCSV(out)
 	if *outPath != "" {
-		of, err = os.Create(*outPath)
-		if err != nil {
-			stopProfile()
-			return err
-		}
-		w = of
+		sink = engine.NewCSVFile(*outPath)
 	}
 	// A SIGINT/SIGTERM cancels the sweep context: dispatch stops, the
 	// journal and manifest are flushed and fsynced as the engine
@@ -249,14 +260,7 @@ func run(args []string, out, errOut io.Writer) error {
 	defer stopSignals()
 	context.AfterFunc(ctx, stopSignals)
 
-	sweepErr := sweep(ctx, spec, opt, w, errOut)
-	if of != nil {
-		// A close error is a truncated results file (e.g. full disk) —
-		// it must fail the run, not be swallowed.
-		if cerr := of.Close(); cerr != nil && sweepErr == nil {
-			sweepErr = fmt.Errorf("closing %s: %w", *outPath, cerr)
-		}
-	}
+	sweepErr := sweep(ctx, spec, opt, sink, errOut)
 	if perr := stopProfile(); perr != nil && sweepErr == nil {
 		sweepErr = perr
 	}
@@ -314,7 +318,7 @@ func plan(spec Spec) (engine.Plan, error) {
 
 // sweep executes the spec's grid on the engine and renders the CSV,
 // the stderr summary and the exit status.
-func sweep(ctx context.Context, spec Spec, opt options, w, errOut io.Writer) error {
+func sweep(ctx context.Context, spec Spec, opt options, sink engine.Sink, errOut io.Writer) error {
 	p, err := plan(spec)
 	if err != nil {
 		return err
@@ -333,7 +337,8 @@ func sweep(ctx context.Context, spec Spec, opt options, w, errOut io.Writer) err
 		Resume:         opt.resume,
 		FailuresPath:   opt.failuresOut,
 		Log:            errOut,
-	}, engine.NewCSV(w))
+		FS:             opt.fs,
+	}, sink)
 
 	if runErr != nil && sum.Manifest.TotalCells == 0 {
 		// Setup failed before any cell ran (unopenable journal or
@@ -360,6 +365,16 @@ func sweep(ctx context.Context, spec Spec, opt options, w, errOut io.Writer) err
 				return fmt.Errorf("interrupted; completed cells are journaled — rerun with -resume to continue from %s", opt.checkpointPath)
 			}
 			return fmt.Errorf("interrupted; rerun with -checkpoint and -resume to make sweeps continuable")
+		}
+		if faultfs.IsIOFault(runErr) {
+			// Storage fault, not a simulation failure: the journal's
+			// fsynced prefix is intact, so point the operator at -resume
+			// (and exit with the distinct I/O-fault code via main).
+			if opt.checkpointPath != "" {
+				return fmt.Errorf("storage fault: %w; completed cells are journaled in %s — rerun with -resume once the disk recovers",
+					runErr, opt.checkpointPath)
+			}
+			return fmt.Errorf("storage fault: %w; rerun with -checkpoint and -resume to make sweeps continuable past storage faults", runErr)
 		}
 		var re *runner.RunError
 		if errors.As(runErr, &re) {

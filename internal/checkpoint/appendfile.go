@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"mobilecache/internal/faultfs"
 )
 
 // AppendFile is the crash-safe append-only sink shared by the sweep
@@ -13,9 +15,15 @@ import (
 // and the file is fsynced every SyncEvery appends and on Close, so a
 // SIGKILL loses at most the records since the last sync (and a torn
 // final write, which framed readers detect and discard).
+//
+// Errors are sticky (fsyncgate semantics): after any failed write or
+// fsync, every later Append and Sync returns the first error without
+// touching the file — the kernel may have dropped the dirty pages a
+// failed fsync covered, so continuing to append would acknowledge
+// records that can never be made durable.
 type AppendFile struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         faultfs.File
 	syncEvery int
 	sinceSync int
 	err       error // first fatal write/sync error; sticky
@@ -27,10 +35,15 @@ const DefaultSyncEvery = 16
 // NewAppendFile opens (creating if needed) path for appending.
 // syncEvery <= 0 selects DefaultSyncEvery; 1 fsyncs every append.
 func NewAppendFile(path string, syncEvery int) (*AppendFile, error) {
+	return NewAppendFileFS(faultfs.OS, path, syncEvery)
+}
+
+// NewAppendFileFS is NewAppendFile over an injectable filesystem.
+func NewAppendFileFS(fsys faultfs.FS, path string, syncEvery int) (*AppendFile, error) {
 	if syncEvery <= 0 {
 		syncEvery = DefaultSyncEvery
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +52,7 @@ func NewAppendFile(path string, syncEvery int) (*AppendFile, error) {
 
 // newAppendFileFrom wraps an already-positioned file (journal resume
 // truncates the corrupt tail first, then hands the descriptor over).
-func newAppendFileFrom(f *os.File, syncEvery int) *AppendFile {
+func newAppendFileFrom(f faultfs.File, syncEvery int) *AppendFile {
 	if syncEvery <= 0 {
 		syncEvery = DefaultSyncEvery
 	}

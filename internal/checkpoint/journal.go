@@ -28,6 +28,8 @@ import (
 	"hash/crc32"
 	"os"
 	"sync/atomic"
+
+	"mobilecache/internal/faultfs"
 )
 
 // magic identifies a journal file; bump the digit on format changes.
@@ -146,7 +148,12 @@ type Journal struct {
 // Create starts a fresh journal at path, truncating any previous file.
 // syncEvery <= 0 selects DefaultSyncEvery.
 func Create(path string, syncEvery int) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	return CreateFS(faultfs.OS, path, syncEvery)
+}
+
+// CreateFS is Create over an injectable filesystem.
+func CreateFS(fsys faultfs.FS, path string, syncEvery int) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +167,12 @@ func Create(path string, syncEvery int) (*Journal, error) {
 // Read recovers the entries of the journal at path without opening it
 // for writing. A missing file is zero entries, not an error.
 func Read(path string) ([]Entry, RecoverInfo, error) {
-	data, err := os.ReadFile(path)
+	return ReadFS(faultfs.OS, path)
+}
+
+// ReadFS is Read over an injectable filesystem.
+func ReadFS(fsys faultfs.FS, path string) ([]Entry, RecoverInfo, error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, RecoverInfo{}, nil
 	}
@@ -191,18 +203,23 @@ func Read(path string) ([]Entry, RecoverInfo, error) {
 // fresh journal. The recovered entries and scan summary are returned so
 // the caller can skip finished work and report what a crash lost.
 func Resume(path string, syncEvery int) (*Journal, []Entry, RecoverInfo, error) {
-	entries, info, err := Read(path)
+	return ResumeFS(faultfs.OS, path, syncEvery)
+}
+
+// ResumeFS is Resume over an injectable filesystem.
+func ResumeFS(fsys faultfs.FS, path string, syncEvery int) (*Journal, []Entry, RecoverInfo, error) {
+	entries, info, err := ReadFS(fsys, path)
 	if err != nil {
 		return nil, nil, RecoverInfo{}, err
 	}
 	if info.ValidBytes == 0 && info.DiscardedBytes == 0 {
-		j, err := Create(path, syncEvery)
+		j, err := CreateFS(fsys, path, syncEvery)
 		if err != nil {
 			return nil, nil, RecoverInfo{}, err
 		}
 		return j, nil, RecoverInfo{ValidBytes: int64(len(magic))}, nil
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, nil, RecoverInfo{}, err
 	}

@@ -41,6 +41,7 @@ import (
 
 	"mobilecache/internal/checkpoint"
 	"mobilecache/internal/config"
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/runner"
 	"mobilecache/internal/sample"
 	"mobilecache/internal/sim"
@@ -293,6 +294,11 @@ type ExecOptions struct {
 	// and fair-share one machine-wide slot set across concurrent
 	// executions. See runner.Gate.
 	Gate runner.Gate
+	// FS is the filesystem every durable artifact of this execution
+	// (checkpoint journal, failure manifest) goes through; nil selects
+	// the real one. Fault-injection tests swap in a faultfs.FaultFS to
+	// torture the persistence path deterministically.
+	FS faultfs.FS
 }
 
 // Summary is what a plan execution leaves behind besides the sink
@@ -344,6 +350,10 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 	if opt.Resume && opt.CheckpointPath == "" {
 		return sum, fmt.Errorf("engine: resume needs a checkpoint path")
 	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 
 	// Key every cell up front: a cell that cannot be keyed is a
 	// configuration error and must fail the plan before any cell runs.
@@ -360,7 +370,7 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 		index[rc] = i
 	}
 
-	journal, resumed, discarded, err := e.openJournal(opt, logw)
+	journal, resumed, discarded, err := e.openJournal(fsys, opt, logw)
 	if err != nil {
 		return sum, err
 	}
@@ -377,7 +387,7 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 		Gate:      opt.Gate,
 	}
 	if opt.FailuresPath != "" {
-		mlog, err = runner.NewManifestLogger(opt.FailuresPath)
+		mlog, err = runner.NewManifestLoggerFS(fsys, opt.FailuresPath)
 		if err != nil {
 			if journal != nil {
 				journal.Close()
@@ -503,18 +513,18 @@ func (e *Engine) runKeyed(c Cell, key checkpoint.Key, accesses, warmup int, spec
 // Resume replays the valid prefix — later entries win, so a cell
 // re-run after a crash supersedes its earlier record — and truncates
 // any torn tail.
-func (e *Engine) openJournal(opt ExecOptions, logw io.Writer) (*checkpoint.Journal, map[checkpoint.Key]sim.RunReport, int64, error) {
+func (e *Engine) openJournal(fsys faultfs.FS, opt ExecOptions, logw io.Writer) (*checkpoint.Journal, map[checkpoint.Key]sim.RunReport, int64, error) {
 	if opt.CheckpointPath == "" {
 		return nil, nil, 0, nil
 	}
 	if !opt.Resume {
-		j, err := checkpoint.Create(opt.CheckpointPath, 0)
+		j, err := checkpoint.CreateFS(fsys, opt.CheckpointPath, 0)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("creating checkpoint %s: %w", opt.CheckpointPath, err)
 		}
 		return j, nil, 0, nil
 	}
-	j, entries, info, err := checkpoint.Resume(opt.CheckpointPath, 0)
+	j, entries, info, err := checkpoint.ResumeFS(fsys, opt.CheckpointPath, 0)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("resuming checkpoint %s: %w", opt.CheckpointPath, err)
 	}

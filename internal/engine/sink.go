@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 
 	"mobilecache/internal/checkpoint"
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/report"
 	"mobilecache/internal/sim"
 )
@@ -133,6 +135,46 @@ func csvRow(machine, app string, seed uint64, rep sim.RunReport) []string {
 		fmt.Sprintf("%.6g", rep.Energy.TotalJ()),
 		strconv.FormatUint(rep.L2PoweredBytes, 10),
 	}
+}
+
+// CSVFile is the durable variant of CSV: rows accumulate in memory and
+// Flush lands the complete file atomically (write temp, fsync, rename,
+// fsync parent dir) via faultfs.WriteFileAtomic. The output path
+// therefore never holds a half-written CSV — a reader sees either the
+// previous file or the complete new one, even across a crash — and a
+// disk-full or I/O error surfaces from Flush instead of leaving a
+// truncated file behind. Front ends that write result CSVs (mcsweep -o,
+// the daemon's result.csv) use this instead of an os.Create stream.
+type CSVFile struct {
+	fsys faultfs.FS
+	path string
+	buf  bytes.Buffer
+	csv  *CSV
+}
+
+// NewCSVFile builds an atomic CSV sink targeting path.
+func NewCSVFile(path string) *CSVFile { return NewCSVFileFS(faultfs.OS, path) }
+
+// NewCSVFileFS is NewCSVFile over an injectable filesystem.
+func NewCSVFileFS(fsys faultfs.FS, path string) *CSVFile {
+	c := &CSVFile{fsys: fsys, path: path}
+	c.csv = NewCSV(&c.buf)
+	return c
+}
+
+// Emit implements Sink.
+func (c *CSVFile) Emit(r Result) error { return c.csv.Emit(r) }
+
+// Flush implements Sink: the buffered rows (header included, even for
+// an empty plan) become the file in one atomic, durable swap.
+func (c *CSVFile) Flush() error {
+	if err := c.csv.Flush(); err != nil {
+		return err
+	}
+	return faultfs.WriteFileAtomic(c.fsys, c.path, func(w io.Writer) error {
+		_, err := w.Write(c.buf.Bytes())
+		return err
+	})
 }
 
 // Table renders an execution into a report.Table — the quick-look sink

@@ -1,0 +1,61 @@
+package faultfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// WriteFileAtomic lands content at path so that the path never holds a
+// half-written file, even across power loss: the content is written to
+// path.tmp, fsynced, closed, renamed over path, and the parent
+// directory is fsynced so the rename itself survives a crash. Any
+// failure — the directory sync included — is returned, and the
+// temporary is removed (best effort) so retries start clean.
+//
+// Every os.Rename-based atomic write in this repository (state.json,
+// job.json, result.csv, manifest finalize) goes through this helper;
+// writing one by hand skips the parent-directory fsync and reopens the
+// dir-entry durability hole this helper closes.
+func WriteFileAtomic(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.DirSync(filepath.Dir(path)); err != nil {
+		// The rename happened but is not yet durable: report it — a
+		// caller acking durability on a swallowed dirsync error would
+		// ack data a power loss can still take back.
+		return fmt.Errorf("faultfs: fsync parent of %s after rename: %w", path, err)
+	}
+	return nil
+}
+
+// WriteJSONAtomic atomically lands v at path as indented JSON (the
+// format the jobs store has always used for job.json/state.json).
+func WriteJSONAtomic(fsys FS, path string, v any) error {
+	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}

@@ -1,0 +1,322 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// record is an Injector that faults nothing and records every op — the
+// torture harness's counting pass uses the same mechanism.
+type record struct {
+	ops []Op
+}
+
+func (r *record) Fault(op Op) *Fault {
+	r.ops = append(r.ops, op)
+	return nil
+}
+
+func TestPassThroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	for _, fsys := range []FS{OS, New(nil)} {
+		f, err := fsys.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := fsys.ReadFile(path)
+		if err != nil || string(data) != "hello" {
+			t.Fatalf("read back %q, %v", data, err)
+		}
+		if err := fsys.Rename(path, path+".2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.DirSync(dir); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := fsys.ReadDir(dir)
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("readdir: %d entries, %v", len(entries), err)
+		}
+		if err := fsys.Remove(path + ".2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpSequenceIsDeterministic(t *testing.T) {
+	run := func() []Op {
+		rec := &record{}
+		fsys := New(rec)
+		dir := t.TempDir()
+		f, _ := fsys.Create(filepath.Join(dir, "x"))
+		f.Write([]byte("ab"))
+		f.Sync()
+		f.Close()
+		fsys.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y"))
+		fsys.DirSync(dir)
+		return rec.ops
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 6 {
+		t.Fatalf("op counts differ: %d vs %d (want 6)", len(a), len(b))
+	}
+	wantKinds := []OpKind{OpCreate, OpWrite, OpSync, OpClose, OpRename, OpDirSync}
+	for i := range a {
+		if a[i].N != i || a[i].Kind != wantKinds[i] || b[i].Kind != wantKinds[i] {
+			t.Fatalf("op %d: %v / %v, want kind %v", i, a[i], b[i], wantKinds[i])
+		}
+	}
+}
+
+func TestFailNthAndKindRules(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan().FailNth(1, syscall.EIO)
+	fsys := New(plan)
+	f, err := fsys.Create(filepath.Join(dir, "x")) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); !errors.Is(err, syscall.EIO) { // op 1
+		t.Fatalf("want injected EIO, got %v", err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil { // op 2: clean again
+		t.Fatal(err)
+	}
+	f.Close()
+
+	plan2 := NewPlan().FailKind(OpSync, "*.ckpt", syscall.EIO)
+	fsys2 := New(plan2)
+	j, _ := fsys2.Create(filepath.Join(dir, "cells.ckpt"))
+	o, _ := fsys2.Create(filepath.Join(dir, "other.txt"))
+	if err := j.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ckpt sync should fault, got %v", err)
+	}
+	if err := o.Sync(); err != nil {
+		t.Fatalf("other sync should pass, got %v", err)
+	}
+	j.Close()
+	o.Close()
+}
+
+func TestShortWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short")
+	fsys := New(NewPlan().ShortWriteNth(0, 3))
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write: n=%d err=%v, want 3 bytes and ENOSPC", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abc" {
+		t.Fatalf("file holds %q, want the 3-byte prefix", data)
+	}
+}
+
+func TestENOSPCStreakEndsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(NewPlan().ENOSPCStreak(1, 2))      // ops 1 and 2 fail if write/sync
+	f, err := fsys.Create(filepath.Join(dir, "f")) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) { // op 1
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) { // op 2
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 3: disk freed
+		t.Fatalf("op 3 should succeed: %v", err)
+	}
+	f.Close()
+}
+
+func TestCrashDropsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	fsys := New(NewPlan().CrashAtNth(4))
+	f, err := fsys.Create(path) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))                        // op 1
+	f.Sync()                                          // op 2
+	f.Write([]byte("+lost"))                          // op 3 — never synced
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // op 4: crash
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Everything after the crash fails too.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if _, err := fsys.Create(filepath.Join(dir, "new")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	// The "rebooted" view: only the fsynced prefix survived.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable" {
+		t.Fatalf("after crash file holds %q, want %q", data, "durable")
+	}
+}
+
+func TestCrashBeforeRenameLeavesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	fsys := New(NewPlan().CrashBeforeRename("state.json*"))
+	err := WriteJSONAtomic(fsys, path, map[string]int{"v": 1})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash at rename, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after crash-before-rename")
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("synced temp should survive the crash: %v", err)
+	}
+}
+
+// TestWriteFileAtomicOpSequence pins the durability protocol: create
+// temp, write, fsync, close, rename, parent-dir fsync — in that order,
+// every time. Skipping the trailing dirsync is the bug class satellite
+// 1 of the PR removes.
+func TestWriteFileAtomicOpSequence(t *testing.T) {
+	rec := &record{}
+	fsys := New(rec)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	if err := WriteJSONAtomic(fsys, path, map[string]string{"id": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []OpKind{OpCreate, OpWrite, OpSync, OpClose, OpRename, OpDirSync}
+	if len(rec.ops) != len(want) {
+		t.Fatalf("op trace %v, want kinds %v", rec.ops, want)
+	}
+	for i, op := range rec.ops {
+		if op.Kind != want[i] {
+			t.Fatalf("op %d is %v, want %v (trace %v)", i, op.Kind, want[i], rec.ops)
+		}
+	}
+	if rec.ops[4].Path2 != path {
+		t.Fatalf("rename destination %q, want %q", rec.ops[4].Path2, path)
+	}
+	if rec.ops[5].Path != dir {
+		t.Fatalf("dirsync on %q, want parent %q", rec.ops[5].Path, dir)
+	}
+}
+
+// TestWriteFileAtomicDirSyncErrorSurfaces: a failed parent-directory
+// fsync must be reported, not swallowed — the rename is not durable
+// until the directory is.
+func TestWriteFileAtomicDirSyncErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(NewPlan().FailKind(OpDirSync, "", syscall.EIO))
+	err := WriteJSONAtomic(fsys, filepath.Join(dir, "s.json"), map[string]int{"v": 2})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("dirsync error swallowed: %v", err)
+	}
+	// The content itself did land (the rename succeeded) — only its
+	// durability is unacknowledged.
+	if _, serr := os.Stat(filepath.Join(dir, "s.json")); serr != nil {
+		t.Fatalf("renamed file missing: %v", serr)
+	}
+}
+
+func TestWriteFileAtomicCleansTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	fsys := New(NewPlan().FailNthKind(0, OpSync, syscall.ENOSPC))
+	err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, werr := w.Write([]byte("{}"))
+		return werr
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatal("temp file left behind after failed atomic write")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("destination appeared despite failed write")
+	}
+}
+
+func TestIsIOFault(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, false},
+		{errors.New("spec needs machines"), false},
+		{syscall.ENOSPC, true},
+		{syscall.EIO, true},
+		{ErrCrashed, true},
+		{fmt.Errorf("checkpoint append: %w", syscall.ENOSPC), true},
+		{fmt.Errorf("outer: %w", fmt.Errorf("faultfs: injected sync fault on x: %w", syscall.EIO)), true},
+	}
+	for _, c := range cases {
+		if got := IsIOFault(c.err); got != c.want {
+			t.Errorf("IsIOFault(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("enospc:after=2:streak=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ops 0,1 clean; write/sync ops 2,3 ENOSPC; 4+ clean.
+	if f := p.Fault(Op{N: 1, Kind: OpWrite}); f != nil {
+		t.Fatal("op 1 should pass")
+	}
+	if f := p.Fault(Op{N: 2, Kind: OpWrite}); f == nil || !errors.Is(f.Err, syscall.ENOSPC) {
+		t.Fatal("op 2 should hit the streak")
+	}
+	if f := p.Fault(Op{N: 3, Kind: OpReadDir}); f != nil {
+		t.Fatal("streak must only hit writes and syncs")
+	}
+	if f := p.Fault(Op{N: 4, Kind: OpSync}); f != nil {
+		t.Fatal("op 4 is past the streak")
+	}
+
+	if _, err := ParsePlan("meteor-strike:nth=1"); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+	if _, err := ParsePlan("enospc:after=x"); err == nil {
+		t.Fatal("non-integer argument accepted")
+	}
+	p2, err := ParsePlan("fsync-err:nth=0;crash:nth=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p2.Fault(Op{N: 3, Kind: OpSync}); f == nil || !errors.Is(f.Err, syscall.EIO) {
+		t.Fatal("first sync should fault")
+	}
+	if f := p2.Fault(Op{N: 9, Kind: OpWrite}); f == nil || !f.Crash {
+		t.Fatal("op 9 should crash")
+	}
+}

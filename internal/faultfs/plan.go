@@ -1,0 +1,209 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Plan is a deterministic fault schedule: an ordered rule list where
+// the first matching rule decides the op's fate. Identical op
+// sequences therefore produce identical fault sequences — the property
+// the torture harness's enumerate-every-fault-point loop rests on.
+type Plan struct {
+	mu    sync.Mutex
+	rules []rule
+}
+
+type rule struct {
+	match func(Op) bool
+	fault Fault
+	// remaining bounds how many times the rule fires; < 0 is forever.
+	remaining int
+}
+
+// NewPlan builds an empty plan (no faults).
+func NewPlan() *Plan { return &Plan{} }
+
+// Fault implements Injector.
+func (p *Plan) Fault(op Op) *Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.remaining == 0 || !r.match(op) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		f := r.fault
+		return &f
+	}
+	return nil
+}
+
+// add appends a rule and returns the plan for chaining.
+func (p *Plan) add(match func(Op) bool, fault Fault, times int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, rule{match: match, fault: fault, remaining: times})
+	return p
+}
+
+// pathMatch matches an op's path (or rename destination) against a
+// shell glob over the base name, or a plain substring when the pattern
+// has no glob metacharacters. An empty pattern matches everything.
+func pathMatch(pattern string, op Op) bool {
+	if pattern == "" {
+		return true
+	}
+	for _, path := range []string{op.Path, op.Path2} {
+		if path == "" {
+			continue
+		}
+		if ok, err := filepath.Match(pattern, filepath.Base(path)); err == nil && ok {
+			return true
+		}
+		if !strings.ContainsAny(pattern, `*?[\`) && strings.Contains(path, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+// FailNth fails the op with global sequence number n (zero-based).
+func (p *Plan) FailNth(n int, err error) *Plan {
+	return p.add(func(op Op) bool { return op.N == n }, Fault{Err: err}, 1)
+}
+
+// CrashAtNth simulates power loss at op n: the op and everything after
+// it fail with ErrCrashed and unsynced bytes are dropped.
+func (p *Plan) CrashAtNth(n int) *Plan {
+	return p.add(func(op Op) bool { return op.N >= n }, Fault{Crash: true}, 1)
+}
+
+// FailKind fails every op of the given kind whose path matches pattern
+// (see pathMatch; "" matches all paths).
+func (p *Plan) FailKind(kind OpKind, pattern string, err error) *Plan {
+	return p.add(func(op Op) bool { return op.Kind == kind && pathMatch(pattern, op) }, Fault{Err: err}, -1)
+}
+
+// FailNthKind fails the nth op of the given kind (zero-based among
+// that kind's ops, any path).
+func (p *Plan) FailNthKind(n int, kind OpKind, err error) *Plan {
+	seen := 0
+	return p.add(func(op Op) bool {
+		if op.Kind != kind {
+			return false
+		}
+		seen++
+		return seen-1 == n
+	}, Fault{Err: err}, 1)
+}
+
+// ShortWriteNth performs only keep bytes of the nth write op (zero-
+// based among writes) and fails it with ENOSPC — the torn-record
+// generator for journal recovery tests.
+func (p *Plan) ShortWriteNth(n, keep int) *Plan {
+	seen := 0
+	return p.add(func(op Op) bool {
+		if op.Kind != OpWrite {
+			return false
+		}
+		seen++
+		return seen-1 == n
+	}, Fault{Err: syscall.ENOSPC, Keep: keep}, 1)
+}
+
+// ENOSPCStreak fails every write and sync op in the global sequence
+// window [start, start+length) with ENOSPC; length <= 0 runs forever
+// (a disk that stays full).
+func (p *Plan) ENOSPCStreak(start, length int) *Plan {
+	return p.add(func(op Op) bool {
+		if op.Kind != OpWrite && op.Kind != OpSync {
+			return false
+		}
+		if op.N < start {
+			return false
+		}
+		return length <= 0 || op.N < start+length
+	}, Fault{Err: syscall.ENOSPC}, -1)
+}
+
+// FsyncErrNth fails the nth sync op (zero-based among syncs, any
+// path) with EIO — the fsyncgate scenario: the kernel reported the
+// data lost, and nothing written since may be acknowledged.
+func (p *Plan) FsyncErrNth(n int) *Plan {
+	return p.FailNthKind(n, OpSync, syscall.EIO)
+}
+
+// CrashBeforeRename crashes at the first rename whose path matches
+// pattern: the temp file's bytes are on disk, the destination never
+// appears — the classic torn atomic-replace window.
+func (p *Plan) CrashBeforeRename(pattern string) *Plan {
+	return p.add(func(op Op) bool { return op.Kind == OpRename && pathMatch(pattern, op) }, Fault{Crash: true}, 1)
+}
+
+// IsIOFault reports whether err is a storage-layer fault — injected or
+// real ENOSPC/EIO, or a simulated crash — as opposed to a logic error.
+// The daemon's degraded mode and mcsweep's exit-code mapping key off
+// this: an I/O fault means the journaled work is fine and a resume
+// will complete it once the storage recovers.
+func IsIOFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrCrashed) ||
+		errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EIO)
+}
+
+// ParsePlan builds a plan from a compact spec string — the test hook
+// cmd/mcserved exposes through MCSERVED_FAULT so the serve-smoke
+// script can inject a deterministic ENOSPC streak into a live daemon.
+// Specs are semicolon-separated directives:
+//
+//	enospc:after=N:streak=K   ENOSPCStreak(N, K)
+//	fsync-err:nth=N           FsyncErrNth(N)
+//	crash:nth=N               CrashAtNth(N)
+//	fail:nth=N                FailNth(N, EIO)
+func ParsePlan(spec string) (*Plan, error) {
+	p := NewPlan()
+	for _, directive := range strings.Split(spec, ";") {
+		directive = strings.TrimSpace(directive)
+		if directive == "" {
+			continue
+		}
+		parts := strings.Split(directive, ":")
+		args := map[string]int{}
+		for _, kv := range parts[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultfs: directive %q: bad argument %q (want key=int)", directive, kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("faultfs: directive %q: %s=%q is not an integer", directive, k, v)
+			}
+			args[k] = n
+		}
+		switch parts[0] {
+		case "enospc":
+			p.ENOSPCStreak(args["after"], args["streak"])
+		case "fsync-err":
+			p.FsyncErrNth(args["nth"])
+		case "crash":
+			p.CrashAtNth(args["nth"])
+		case "fail":
+			p.FailNth(args["nth"], syscall.EIO)
+		default:
+			return nil, fmt.Errorf("faultfs: unknown fault directive %q (want enospc, fsync-err, crash or fail)", parts[0])
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,17 @@
+// Package torture is the crash-consistency torture harness for the
+// persistence layer. Its tests first run each durable workflow — a
+// checkpointed sweep-and-resume, and the daemon's full job lifecycle —
+// over a recording faultfs to learn the exact filesystem-op sequence,
+// then re-run the workflow once per (op index, fault flavor) pair,
+// injecting ENOSPC, fsync EIO, short writes or a simulated power loss
+// at that op. After every faulted run a "reboot" (fresh process state
+// over the same directory, healthy storage) resumes the workflow, and
+// the harness asserts the contract the rest of the repository relies
+// on: the final CSV is byte-identical to an uninterrupted run, or the
+// failure was reported as a structured error — never a silently
+// partial result.
+//
+// The harness requires single-worker execution: the op sequence must
+// be deterministic for "fault at op N" to mean the same thing on every
+// run.
+package torture

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"mobilecache/internal/faultfs"
+)
+
+// switchableFault is an injector with an on/off switch: while on,
+// every durable write under the store fails with ENOSPC — a disk that
+// filled up and later recovered.
+type switchableFault struct{ on atomic.Bool }
+
+func (s *switchableFault) Fault(op faultfs.Op) *faultfs.Fault {
+	if !s.on.Load() {
+		return nil
+	}
+	switch op.Kind {
+	case faultfs.OpWrite, faultfs.OpSync, faultfs.OpCreate, faultfs.OpDirSync:
+		return &faultfs.Fault{Err: syscall.ENOSPC}
+	}
+	return nil
+}
+
+// TestDegradedModeShedsAndRecovers drives the manager through a full
+// degraded episode: a healthy job, then a full disk that fails a
+// submission and flips degraded (later submissions shed immediately
+// with ErrDegraded), then recovery — the probe write reopens admission
+// and the next job runs to done.
+func TestDegradedModeShedsAndRecovers(t *testing.T) {
+	fault := &switchableFault{}
+	m := newTestManager(t, Options{
+		FS:            faultfs.New(fault),
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	defer m.Shutdown(context.Background())
+
+	// Healthy: a job completes.
+	j, err := m.Submit(testSpec(1), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j); st.State != StateDone {
+		t.Fatalf("healthy job ended %s (%s)", st.State, st.Error)
+	}
+
+	// Disk fills: the submission's durable write fails and the manager
+	// degrades.
+	fault.on.Store(true)
+	if _, err := m.Submit(testSpec(2), "c"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("submit on full disk: %v, want ENOSPC", err)
+	}
+	if !m.Degraded() {
+		t.Fatal("manager not degraded after ENOSPC on the persistence path")
+	}
+	if _, err := m.Submit(testSpec(3), "c"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("submit while degraded: %v, want ErrDegraded", err)
+	}
+	st := m.Stats()
+	if st.IOErrors == 0 || !st.Degraded {
+		t.Fatalf("stats do not reflect the episode: %+v", st)
+	}
+
+	// Disk recovers: the probe reopens admission.
+	fault.on.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never recovered after the fault cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j2, err := m.Submit(testSpec(4), "c")
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if st := waitTerminal(t, j2); st.State != StateDone {
+		t.Fatalf("post-recovery job ended %s (%s)", st.State, st.Error)
+	}
+	if _, err := os.Stat(filepath.Join(m.opts.Root, j2.ID(), resultFile)); err != nil {
+		t.Fatalf("post-recovery result.csv missing: %v", err)
+	}
+}
+
+// TestResultCSVNeverPartial: a job whose execution is interrupted must
+// not leave any bytes at result.csv — the path holds a complete result
+// or nothing (resume produces the complete file later).
+func TestResultCSVNeverPartial(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 1})
+	spec := testSpec(1, 2, 3, 4)
+	j, err := m.Submit(spec, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain mid-flight: the job parks as draining.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	m.Shutdown(ctx)
+	if st := j.Status(); st.State == StateDone {
+		t.Skip("job finished before the drain; nothing to assert")
+	}
+	if _, err := os.Stat(filepath.Join(m.opts.Root, j.ID(), resultFile)); !os.IsNotExist(err) {
+		t.Fatalf("interrupted job left bytes at result.csv (stat err %v)", err)
+	}
+	// No stray temp either: WriteFileAtomic only runs on success.
+	if _, err := os.Stat(filepath.Join(m.opts.Root, j.ID(), resultFile+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("interrupted job left result.csv.tmp (stat err %v)", err)
+	}
+
+	// Restart on the same store: the resumed run completes and the CSV
+	// matches an uninterrupted execution byte for byte.
+	m2 := newTestManager(t, Options{Root: m.opts.Root, Workers: 1})
+	defer m2.Shutdown(context.Background())
+	j2, err := m2.Get(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j2); st.State != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", st.State, st.Error)
+	}
+	got, err := os.ReadFile(filepath.Join(m.opts.Root, j.ID(), resultFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceCSV(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -21,6 +21,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"mobilecache/internal/engine"
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/runner"
 )
 
@@ -70,6 +72,11 @@ var (
 	ErrTooLarge = errors.New("jobs: spec exceeds the per-job cell budget")
 	// ErrDraining: the daemon is shutting down (503).
 	ErrDraining = errors.New("jobs: daemon is draining")
+	// ErrDegraded: the store is shedding admissions after persistent
+	// I/O errors (disk full, failed fsync); running jobs keep draining
+	// and a background probe reopens admission when writes succeed
+	// again (503 + Retry-After).
+	ErrDegraded = errors.New("jobs: store degraded by I/O errors; admission paused")
 	// ErrNotFound: no such job (404).
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrNotFinished: the final CSV is not available yet (409).
@@ -103,6 +110,14 @@ type Options struct {
 	TraceBudgetBytes int64
 	// Log receives recovery and degradation notes; nil discards them.
 	Log io.Writer
+	// FS is the filesystem every durable artifact goes through; nil
+	// selects the real one. Fault-injection tests (and the
+	// MCSERVED_FAULT hook) swap in a faultfs.FaultFS.
+	FS faultfs.FS
+	// ProbeInterval is how often a degraded manager retries a probe
+	// write to the store before reopening admission; <= 0 selects
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
 
 // Defaults for Options.
@@ -110,6 +125,7 @@ const (
 	DefaultMaxJobs        = 64
 	DefaultMaxClientJobs  = 8
 	DefaultMaxCellsPerJob = 1 << 20
+	DefaultProbeInterval  = 500 * time.Millisecond
 )
 
 // Event is one streamed job happening, rendered to clients as a JSONL
@@ -220,8 +236,9 @@ func (j *Job) setState(s State, errMsg string) {
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
-	if err := writeJSONAtomic(filepath.Join(j.dir, stateFile), ps); err != nil {
+	if err := faultfs.WriteJSONAtomic(j.m.fsys, filepath.Join(j.dir, stateFile), ps); err != nil {
 		j.m.warn(fmt.Sprintf("jobs: persisting state of %s: %v", j.id, err))
+		j.m.noteIOError(err)
 	}
 	if terminal {
 		close(j.finished)
@@ -313,6 +330,13 @@ type Stats struct {
 	CellsFailed   uint64
 	CellsResumed  uint64
 	JobsRecovered uint64
+	// IOErrors counts persistence-path I/O faults (ENOSPC, EIO, crash)
+	// the manager has absorbed; Degraded reports whether admission is
+	// currently paused by them; ResumeAfterFault counts executions that
+	// recovered from a torn journal tail.
+	IOErrors         uint64
+	ResumeAfterFault uint64
+	Degraded         bool
 	// ActiveJobs counts non-terminal jobs; ByState the full census.
 	ActiveJobs int
 	ByState    map[State]int
@@ -341,6 +365,7 @@ type Manager struct {
 	opts Options
 	eng  *engine.Engine
 	gate *rrGate
+	fsys faultfs.FS
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -355,6 +380,17 @@ type Manager struct {
 	cellsFailed   atomic.Uint64
 	cellsResumed  atomic.Uint64
 	jobsRecovered atomic.Uint64
+
+	// Degraded mode: persistent I/O errors (ENOSPC, failed fsync,
+	// simulated crash in tests) flip degraded and pause admission;
+	// running jobs keep draining, and a background probe write reopens
+	// admission when the store accepts durable writes again.
+	ioErrors         atomic.Uint64
+	resumeAfterFault atomic.Uint64
+	degraded         atomic.Bool
+	probeWG          sync.WaitGroup
+	stop             chan struct{}
+	stopOnce         sync.Once
 }
 
 // New opens (creating if needed) the job store at opts.Root and
@@ -377,11 +413,19 @@ func New(opts Options) (*Manager, error) {
 	if opts.MaxCellsPerJob <= 0 {
 		opts.MaxCellsPerJob = DefaultMaxCellsPerJob
 	}
-	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	if err := opts.FS.MkdirAll(opts.Root, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: creating store root: %w", err)
 	}
 	m := &Manager{
 		opts: opts,
+		fsys: opts.FS,
+		stop: make(chan struct{}),
 		eng: engine.New(engine.Config{
 			Workers:          opts.Workers,
 			Timeout:          opts.Timeout,
@@ -412,7 +456,7 @@ func (m *Manager) Engine() *engine.Engine { return m.eng }
 // holds m.mu throughout: the first resumed job's goroutine is already
 // calling back into the manager while later jobs are still loading.
 func (m *Manager) recover() error {
-	recs, err := scanStore(m.opts.Root, m.warn)
+	recs, err := scanStore(m.fsys, m.opts.Root, m.warn)
 	if err != nil {
 		return err
 	}
@@ -475,6 +519,14 @@ func (m *Manager) Submit(spec Spec, client string) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if m.degraded.Load() {
+		// A store that cannot make submissions durable must not accept
+		// them: shedding here is what keeps "admitted" meaning
+		// "crash-safe". Running jobs keep draining on whatever storage
+		// still works; the probe reopens admission on recovery.
+		m.mu.Unlock()
+		return nil, ErrDegraded
+	}
 	if m.active >= m.opts.MaxJobs {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d jobs in flight)", ErrOverloaded, m.opts.MaxJobs)
@@ -501,12 +553,16 @@ func (m *Manager) Submit(spec Spec, client string) (*Job, error) {
 		state: StatePending, total: len(plan.Cells),
 		notify: make(chan struct{}), finished: make(chan struct{}),
 	}
-	if err := os.MkdirAll(j.dir, 0o755); err == nil {
-		err = writeJSONAtomic(filepath.Join(j.dir, metaFile), meta{
+	// Plain assignment, not `if err := ...`: a shadowed err here once
+	// swallowed meta/state write failures and admitted jobs that were
+	// never made durable.
+	err = m.fsys.MkdirAll(j.dir, 0o755)
+	if err == nil {
+		err = faultfs.WriteJSONAtomic(m.fsys, filepath.Join(j.dir, metaFile), meta{
 			ID: id, Client: client, Created: j.created, Spec: spec,
 		})
 		if err == nil {
-			err = writeJSONAtomic(filepath.Join(j.dir, stateFile), persistentState{
+			err = faultfs.WriteJSONAtomic(m.fsys, filepath.Join(j.dir, stateFile), persistentState{
 				State: StatePending, Total: j.total, Updated: j.created,
 			})
 		}
@@ -514,7 +570,8 @@ func (m *Manager) Submit(spec Spec, client string) (*Job, error) {
 		err = fmt.Errorf("jobs: creating job dir: %w", err)
 	}
 	if err != nil {
-		os.RemoveAll(j.dir)
+		m.fsys.RemoveAll(j.dir)
+		m.noteIOError(err)
 		m.mu.Lock()
 		m.active--
 		m.mu.Unlock()
@@ -527,7 +584,7 @@ func (m *Manager) Submit(spec Spec, client string) (*Job, error) {
 		// drain will never schedule.
 		m.active--
 		m.mu.Unlock()
-		os.RemoveAll(j.dir)
+		m.fsys.RemoveAll(j.dir)
 		return nil, ErrDraining
 	}
 	m.jobs[id] = j
@@ -550,19 +607,15 @@ func (m *Manager) startLocked(j *Job) {
 }
 
 // runJob drives one job through the engine and lands it in a terminal
-// state — or parks it as draining for the next process to resume.
+// state — or parks it as draining for the next process to resume. The
+// result CSV accumulates in memory and lands atomically (write temp,
+// fsync, rename, fsync dir) only when the execution completed: the
+// result.csv path either holds a complete result or does not exist.
 func (m *Manager) runJob(ctx context.Context, j *Job) {
 	j.setState(StateRunning, "")
 
-	csvTmp := filepath.Join(j.dir, resultFile+".tmp")
-	f, err := os.Create(csvTmp)
-	if err != nil {
-		j.setState(StateFailed, fmt.Sprintf("creating result file: %v", err))
-		m.finish(j)
-		return
-	}
-
-	_, execErr := m.eng.Execute(ctx, j.plan, engine.ExecOptions{
+	var buf bytes.Buffer
+	sum, execErr := m.eng.Execute(ctx, j.plan, engine.ExecOptions{
 		CheckpointPath: filepath.Join(j.dir, journalFile),
 		Resume:         true,
 		FailuresPath:   filepath.Join(j.dir, failuresFile),
@@ -570,31 +623,31 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		OnFailure:      j.onFailure,
 		Gate:           m.gate.forJob(j.id),
 		Log:            m.opts.Log,
-	}, engine.NewCSV(f))
+		FS:             m.fsys,
+	}, engine.NewCSV(&buf))
+	if sum.CheckpointDiscarded > 0 {
+		// This execution recovered from a torn journal tail — the
+		// signature of a crash or I/O fault in a previous run.
+		m.resumeAfterFault.Add(1)
+	}
 
 	switch {
 	case execErr == nil:
-		// Make the CSV final: fsync, atomic rename.
-		serr := f.Sync()
-		cerr := f.Close()
-		if serr == nil {
-			serr = cerr
-		}
-		if serr == nil {
-			serr = os.Rename(csvTmp, filepath.Join(j.dir, resultFile))
-		}
-		if serr != nil {
-			j.setState(StateFailed, fmt.Sprintf("finalizing result: %v", serr))
+		resultPath := filepath.Join(j.dir, resultFile)
+		if err := faultfs.WriteFileAtomic(m.fsys, resultPath, func(w io.Writer) error {
+			_, werr := w.Write(buf.Bytes())
+			return werr
+		}); err != nil {
+			// The write may have failed after the rename landed (the
+			// parent-dir fsync): scrub the file so a failed job never
+			// carries a result.csv of doubtful durability.
+			m.fsys.Remove(resultPath)
+			m.noteIOError(err)
+			j.setState(StateFailed, fmt.Sprintf("finalizing result: %v", err))
 			break
-		}
-		if d, derr := os.Open(j.dir); derr == nil {
-			d.Sync()
-			d.Close()
 		}
 		j.setState(StateDone, "")
 	case errors.Is(execErr, context.Canceled):
-		f.Close()
-		os.Remove(csvTmp)
 		if j.cancelled.Load() {
 			j.setState(StateCancelled, "cancelled by client")
 		} else {
@@ -603,12 +656,59 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 			j.setState(StateDraining, "")
 		}
 	default:
-		f.Close()
-		os.Remove(csvTmp)
+		m.noteIOError(execErr)
 		j.setState(StateFailed, execErr.Error())
 	}
 	m.finish(j)
 }
+
+// noteIOError inspects an error from the persistence path and, when it
+// is an I/O fault (ENOSPC, EIO, simulated crash), counts it and flips
+// the manager into degraded mode: admission pauses with ErrDegraded
+// while running jobs keep draining, and a probe goroutine reopens
+// admission once the store accepts durable writes again.
+func (m *Manager) noteIOError(err error) {
+	if err == nil || !faultfs.IsIOFault(err) {
+		return
+	}
+	m.ioErrors.Add(1)
+	if m.degraded.CompareAndSwap(false, true) {
+		m.warn(fmt.Sprintf("jobs: store degraded (%v); pausing admission, probing every %s",
+			err, m.opts.ProbeInterval))
+		m.probeWG.Add(1)
+		go m.probeLoop()
+	}
+}
+
+// probeLoop retries a durable probe write until the store recovers,
+// then clears degraded mode. One loop runs per degraded episode.
+func (m *Manager) probeLoop() {
+	defer m.probeWG.Done()
+	ticker := time.NewTicker(m.opts.ProbeInterval)
+	defer ticker.Stop()
+	probe := filepath.Join(m.opts.Root, ".probe")
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		err := faultfs.WriteFileAtomic(m.fsys, probe, func(w io.Writer) error {
+			_, werr := io.WriteString(w, "mcserved store probe\n")
+			return werr
+		})
+		if err != nil {
+			continue
+		}
+		m.fsys.Remove(probe)
+		m.degraded.Store(false)
+		m.warn("jobs: store recovered; admission reopened")
+		return
+	}
+}
+
+// Degraded reports whether admission is paused by I/O faults.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
 // finish releases the job's admission slot.
 func (m *Manager) finish(j *Job) {
@@ -705,6 +805,8 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.probeWG.Wait()
 	return drainErr
 }
 
@@ -717,11 +819,16 @@ func (m *Manager) Stats() Stats {
 		CellsFailed:   m.cellsFailed.Load(),
 		CellsResumed:  m.cellsResumed.Load(),
 		JobsRecovered: m.jobsRecovered.Load(),
-		InFlight:      inflight,
-		Waiting:       waiting,
-		Slots:         m.gate.total,
-		Memo:          m.eng.MemoStats(),
-		ByState:       map[State]int{},
+
+		IOErrors:         m.ioErrors.Load(),
+		ResumeAfterFault: m.resumeAfterFault.Load(),
+		Degraded:         m.degraded.Load(),
+
+		InFlight: inflight,
+		Waiting:  waiting,
+		Slots:    m.gate.total,
+		Memo:     m.eng.MemoStats(),
+		ByState:  map[State]int{},
 	}
 	ts := m.eng.Store().Stats()
 	st.Store = StoreStats{

@@ -11,6 +11,7 @@ import (
 
 	"mobilecache/internal/checkpoint"
 	"mobilecache/internal/engine"
+	"mobilecache/internal/faultfs"
 )
 
 // testSpec is a small real sweep (cells simulate in milliseconds).
@@ -280,7 +281,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	// And the persisted state is resumable.
 	var ps persistentState
-	if err := readJSON(filepath.Join(root, j.ID(), stateFile), &ps); err != nil {
+	if err := readJSON(faultfs.OS, filepath.Join(root, j.ID(), stateFile), &ps); err != nil {
 		t.Fatal(err)
 	}
 	if ps.State != StateDraining {

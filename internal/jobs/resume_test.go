@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mobilecache/internal/faultfs"
 	"mobilecache/internal/sim"
 )
 
@@ -46,7 +47,7 @@ func crash(t *testing.T, m *Manager, j *Job, rng *rand.Rand) {
 	m.wg.Wait()
 
 	dir := filepath.Join(m.opts.Root, j.ID())
-	if err := writeJSONAtomic(filepath.Join(dir, stateFile), persistentState{
+	if err := faultfs.WriteJSONAtomic(faultfs.OS, filepath.Join(dir, stateFile), persistentState{
 		State: StateRunning, Total: j.total, Updated: time.Now().UTC(),
 	}); err != nil {
 		t.Fatal(err)
@@ -185,7 +186,7 @@ func TestRestartWithUnresolvableSpecFailsJobOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Make it look interrupted, then delete the config file.
-	if err := writeJSONAtomic(filepath.Join(root, j.ID(), stateFile), persistentState{
+	if err := faultfs.WriteJSONAtomic(faultfs.OS, filepath.Join(root, j.ID(), stateFile), persistentState{
 		State: StateRunning, Total: 1, Updated: time.Now().UTC(),
 	}); err != nil {
 		t.Fatal(err)

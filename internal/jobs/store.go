@@ -5,10 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
+
+	"mobilecache/internal/faultfs"
 )
 
 // Job directory layout, one directory per job under the store root:
@@ -21,7 +22,9 @@ import (
 //
 // The journal and manifest are the existing internal/checkpoint and
 // internal/runner formats: resume after a crash is exactly the engine's
-// resume path, per job.
+// resume path, per job. Every atomic rewrite goes through
+// faultfs.WriteJSONAtomic, which also fsyncs the parent directory so
+// the rename itself survives a power loss.
 const (
 	metaFile     = "job.json"
 	stateFile    = "state.json"
@@ -59,41 +62,8 @@ func newJobID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// writeJSONAtomic lands v at path via write-temp, fsync, rename — the
-// path never holds a half-written record, even across a crash.
-func writeJSONAtomic(path string, v any) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err == nil {
-		err = f.Sync()
-	}
-	if err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
-}
-
-func readJSON(path string, v any) error {
-	data, err := os.ReadFile(path)
+func readJSON(fsys faultfs.FS, path string, v any) error {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -111,8 +81,8 @@ type recovered struct {
 // first. Directories missing a readable meta or state record are
 // skipped with a note through warn — a half-created job from a crash
 // during submission is not worth failing the whole daemon for.
-func scanStore(root string, warn func(string)) ([]recovered, error) {
-	entries, err := os.ReadDir(root)
+func scanStore(fsys faultfs.FS, root string, warn func(string)) ([]recovered, error) {
+	entries, err := fsys.ReadDir(root)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +94,11 @@ func scanStore(root string, warn func(string)) ([]recovered, error) {
 		dir := filepath.Join(root, e.Name())
 		var r recovered
 		r.dir = dir
-		if err := readJSON(filepath.Join(dir, metaFile), &r.meta); err != nil {
+		if err := readJSON(fsys, filepath.Join(dir, metaFile), &r.meta); err != nil {
 			warn(fmt.Sprintf("jobs: skipping %s: unreadable %s: %v", e.Name(), metaFile, err))
 			continue
 		}
-		if err := readJSON(filepath.Join(dir, stateFile), &r.state); err != nil {
+		if err := readJSON(fsys, filepath.Join(dir, stateFile), &r.state); err != nil {
 			warn(fmt.Sprintf("jobs: skipping %s: unreadable %s: %v", e.Name(), stateFile, err))
 			continue
 		}

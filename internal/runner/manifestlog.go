@@ -2,10 +2,11 @@ package runner
 
 import (
 	"encoding/json"
+	"io"
 	"os"
-	"path/filepath"
 
 	"mobilecache/internal/checkpoint"
+	"mobilecache/internal/faultfs"
 )
 
 // ManifestLogger persists failures the moment they happen instead of
@@ -16,21 +17,28 @@ import (
 // atomically replaces the line log with the canonical indented
 // Manifest built from the full outcome set.
 type ManifestLogger struct {
-	af *checkpoint.AppendFile
+	fsys faultfs.FS
+	af   *checkpoint.AppendFile
 }
 
 // NewManifestLogger truncates path and opens it for incremental
 // failure lines. Every Record is fsynced (failures are rare and each
 // one must survive the very crash it may be the first symptom of).
 func NewManifestLogger(path string) (*ManifestLogger, error) {
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+	return NewManifestLoggerFS(faultfs.OS, path)
+}
+
+// NewManifestLoggerFS is NewManifestLogger over an injectable
+// filesystem.
+func NewManifestLoggerFS(fsys faultfs.FS, path string) (*ManifestLogger, error) {
+	if err := fsys.Remove(path); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	af, err := checkpoint.NewAppendFile(path, 1)
+	af, err := checkpoint.NewAppendFileFS(fsys, path, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &ManifestLogger{af: af}, nil
+	return &ManifestLogger{fsys: fsys, af: af}, nil
 }
 
 // Record appends one failure as a JSON line. Safe for concurrent use
@@ -45,38 +53,17 @@ func (l *ManifestLogger) Record(e *RunError) {
 }
 
 // Finalize closes the incremental log and atomically replaces it with
-// the canonical manifest for the whole run (write-temp-then-rename, so
-// the path never holds a half-written manifest).
+// the canonical manifest for the whole run. The swap goes through
+// faultfs.WriteFileAtomic, so the path never holds a half-written
+// manifest and the rename is fsynced into the parent directory; a
+// dirsync failure surfaces here rather than being dropped.
 func (l *ManifestLogger) Finalize(m Manifest) error {
 	path := l.af.Name()
 	closeErr := l.af.Close()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	if err := faultfs.WriteFileAtomic(l.fsys, path, func(w io.Writer) error {
+		return m.WriteJSON(w)
+	}); err != nil {
 		return err
-	}
-	if err := m.WriteJSON(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// Make the rename durable.
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		d.Sync()
-		d.Close()
 	}
 	return closeErr
 }

@@ -21,6 +21,7 @@ trap cleanup EXIT INT TERM
 fail() {
     echo "serve-smoke: FAIL: $*" >&2
     [ -f "$WORK/served.log" ] && sed 's/^/serve-smoke: daemon: /' "$WORK/served.log" >&2
+    [ -f "$WORK/served2.log" ] && sed 's/^/serve-smoke: daemon2: /' "$WORK/served2.log" >&2
     exit 1
 }
 
@@ -92,6 +93,77 @@ done
 wait "$SRV_PID" 2>/dev/null && STATUS=0 || STATUS=$?
 [ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
 grep -q "drained cleanly" "$WORK/served.log" || fail "daemon log missing clean-drain line"
+SRV_PID=""
+
+# --- degraded mode: a full disk must shed admissions, not corrupt ---
+# Boot a second daemon with an injected ENOSPC streak (MCSERVED_FAULT
+# test hook): every write/sync in the global op window [8, 808) fails,
+# so the store breaks right after startup and heals once the probe
+# writes burn through the window. The daemon must flip /readyz to
+# degraded, shed submissions with 503, count the I/O errors in
+# /metrics, then recover on its own and accept work again.
+echo "serve-smoke: degraded-mode episode (injected ENOSPC streak)"
+MCSERVED_FAULT="enospc:after=8:streak=800" \
+    "$WORK/mcserved" -addr "$ADDR" -data "$WORK/store2" \
+    -drain-timeout 20s -probe-interval 25ms \
+    > "$WORK/served2.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+until curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "degraded daemon: /healthz never came up"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "degraded daemon exited during startup"
+    sleep 0.1
+done
+
+# The first submission trips the streak (either the admission writes or
+# the job's journal fail) and flips the daemon into degraded mode.
+curl -s -XPOST --data-binary @"$WORK/spec.json" "http://$ADDR/jobs" > /dev/null || true
+i=0
+until curl -s "http://$ADDR/metrics" | grep -q '^mcserved_degraded 1$'; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon never reported degraded after ENOSPC"
+    sleep 0.1
+done
+
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")"
+[ "$CODE" = "503" ] || fail "/readyz while degraded returned $CODE, want 503"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -XPOST \
+    --data-binary @"$WORK/spec.json" "http://$ADDR/jobs")"
+[ "$CODE" = "503" ] || fail "degraded submit returned $CODE, want 503 shed"
+curl -s "http://$ADDR/metrics" | grep -q '^mcserved_io_errors_total [1-9]' \
+    || fail "/metrics io_errors_total did not count the fault"
+
+echo "serve-smoke: degraded confirmed; waiting for self-recovery"
+i=0
+until [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")" = "200" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "daemon never recovered after the streak ended"
+    sleep 0.1
+done
+curl -s "http://$ADDR/metrics" | grep -q '^mcserved_degraded 0$' \
+    || fail "degraded gauge did not clear after recovery"
+
+# Admission is open again: a fresh sweep must run to completion.
+SUBMIT="$(curl -sf -XPOST --data-binary @"$WORK/spec.json" "http://$ADDR/jobs")" \
+    || fail "post-recovery submit rejected"
+ID2="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n1)"
+[ -n "$ID2" ] || fail "no job id in post-recovery submit: $SUBMIT"
+curl -sfN "http://$ADDR/jobs/$ID2/results" > "$WORK/stream2.jsonl" \
+    || fail "post-recovery stream failed"
+grep -q '"state":"done"' "$WORK/stream2.jsonl" \
+    || fail "post-recovery job did not finish clean: $(tail -n1 "$WORK/stream2.jsonl")"
+
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "degraded daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null && STATUS=0 || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "degraded daemon exited $STATUS after SIGTERM"
 SRV_PID=""
 
 echo "serve-smoke: PASS"
