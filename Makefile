@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 serve-smoke torture clean
+.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 bench-replay serve-smoke torture clean
 
 build:
 	$(GO) build ./...
@@ -12,20 +12,24 @@ test:
 # suite, a race-enabled short pass (the engine/runner/chaos tests are
 # where races would hide), fuzz smokes over the crash-recovery scanner
 # and the invariant auditor, the golden-audit gate (the quick
-# experiment matrix must be conservation-clean under strict audit) and
+# experiment matrix must be conservation-clean under strict audit),
 # the sampling validation gate (1/8 set sampling within 2% on every
-# standard machine).
+# standard machine) and the segmented-replay equivalence gate (exact
+# oracle mode must be bit-identical to serial replay on every standard
+# machine, and ValidateSegmented must report zero miss-rate error).
 check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/shardlru/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/faultfs/ ./internal/invariant/ ./internal/jobs/ ./cmd/mcserved/ ./cmd/mcsweep/
+	$(GO) test -race ./internal/engine/ ./internal/runner/ ./internal/tracestore/ ./internal/shardlru/ ./internal/sim/ ./internal/sample/ ./internal/checkpoint/ ./internal/faultfs/ ./internal/invariant/ ./internal/jobs/ ./internal/cpu/ ./internal/trace/ ./internal/mem/ ./internal/core/ ./internal/cache/ ./internal/energy/ ./internal/sttram/ ./cmd/mcserved/ ./cmd/mcsweep/
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzAuditReport -fuzztime 5s ./internal/invariant/
 	$(GO) test -run TestGoldenAuditQuickMatrix -count=1 ./internal/experiments/
 	$(GO) test -run TestSampleValidationQuickMatrix -count=1 ./internal/experiments/
+	$(GO) test -run TestRunSegmentedExactMatchesSerial -count=1 ./internal/sim/
+	$(GO) test -run 'TestValidateSegmentedOracle|TestSegmentedSmoke' -count=1 ./internal/engine/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -49,6 +53,15 @@ bench-contention:
 # report schema (also part of the ordinary test suite).
 bench-contention-smoke:
 	$(GO) test -run TestContentionSmoke -short -count=1 -v .
+
+# bench-replay regenerates BENCH_PR9.json: exact-path replay ns/access
+# with the frame-precompute stage, segmented single-cell wall clock and
+# speedup at 1/2/4 workers, and the audited stitch errors at the
+# default warmup (see perf_segment_test.go for the methodology; the
+# file records GOMAXPROCS — on a single-core host the speedup is ~1x
+# by construction).
+bench-replay:
+	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSONPR9$$' -count=1 -v .
 
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mobilecache/internal/report"
@@ -130,6 +131,15 @@ func genCmd(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast before any profile or file work, matching mcbench and
+	// mcsim: a million-record generation into an unwritable path (or a
+	// nonsensical count) should die before the first record exists.
+	if *n <= 0 {
+		return fmt.Errorf("-n %d is not a generatable record count (need >= 1); usage: mctrace gen -app name -n count [-o file]", *n)
+	}
+	if err := checkWritableFile("-o", *outPath); err != nil {
+		return err
+	}
 	var prof workload.Profile
 	var err error
 	if *profPath != "" {
@@ -139,9 +149,6 @@ func genCmd(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
-	}
-	if *n <= 0 {
-		return fmt.Errorf("-n must be positive")
 	}
 
 	phaseLen := uint64(0)
@@ -201,6 +208,23 @@ func genCmd(args []string, out io.Writer) error {
 	return nil
 }
 
+// checkWritableFile proves an output path can actually receive a file
+// before any generation starts: its directory must exist and admit a
+// probe file (created and removed). An empty path (stdout) passes.
+func checkWritableFile(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	dir := filepath.Dir(path)
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("%s: %s is not writable: %w", flagName, path, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
+}
+
 func openTrace(path string) (io.Closer, *trace.Reader, error) {
 	r, closer, err := trace.OpenFile(path)
 	if err != nil {
@@ -244,8 +268,11 @@ func catCmd(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *n < 0 {
+		return fmt.Errorf("-n %d is negative; usage: mctrace cat [-n count] <file>", *n)
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: mctrace cat <file>")
+		return fmt.Errorf("usage: mctrace cat [-n count] <file>")
 	}
 	f, r, err := openTrace(fs.Arg(0))
 	if err != nil {

@@ -84,6 +84,7 @@ func TestErrors(t *testing.T) {
 		{"unknown"},
 		{"gen", "-app", "nope"},
 		{"gen", "-n", "-5"},
+		{"gen", "-n", "0"},
 		{"info"},
 		{"info", "/does/not/exist"},
 		{"cat"},
@@ -94,6 +95,43 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestGenFailsFast pins the flag-validation parity with mcbench and
+// mcsim: invalid counts and unwritable output paths must be rejected
+// before any profile loading or generation work, with a usage-style
+// message.
+func TestGenFailsFast(t *testing.T) {
+	var out bytes.Buffer
+	// A bad count must be reported as a count problem even when the
+	// profile is also bogus — count validation runs first.
+	err := run([]string{"gen", "-app", "nope", "-n", "0"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "usage: mctrace gen") {
+		t.Fatalf("gen -n 0 error = %v, want usage line", err)
+	}
+	// An output path in a nonexistent directory dies before generation,
+	// for both binary and text formats.
+	for _, args := range [][]string{
+		{"gen", "-app", "video", "-n", "1000", "-o", "/does/not/exist/t.mctr"},
+		{"gen", "-app", "video", "-n", "1000", "-text", "-o", "/does/not/exist/t.txt"},
+	} {
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "not writable") {
+			t.Fatalf("run(%v) error = %v, want unwritable-path error", args, err)
+		}
+	}
+}
+
+func TestCatRejectsNegativeCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mctr")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-app", "music", "-n", "100", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"cat", "-n", "-3", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "usage: mctrace cat") {
+		t.Fatalf("cat -n -3 error = %v, want usage line", err)
 	}
 }
 

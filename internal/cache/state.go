@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mobilecache/internal/trace"
+)
+
+// This file implements value-semantics snapshot/restore of a cache
+// array: State captures everything Lookup/Fill/victim/Stats read or
+// write — lines (tags, validity, replacement state, block metadata),
+// the tags sidecar, the replacement sequence counter, the power and
+// domain way masks, and the statistics including the embedded
+// histograms. A State is an independent deep copy: it can be restored
+// any number of times, into the cache it came from or any cache of
+// identical geometry, and restoring replays from that exact point
+// bit-identically (determinism is pinned by the sim-level
+// snapshot/resume equivalence tests).
+
+// State is a copyable snapshot of a Cache's mutable state. Obtain one
+// from Snapshot; apply it with Restore. The zero State is invalid.
+type State struct {
+	lines       []line
+	tags        []uint64
+	seq         uint64
+	allOn       bool
+	enabledMask uint64
+	domainMask  [trace.NumDomains]uint64
+	stats       Stats
+}
+
+// cloneStats deep-copies Stats, including the four histogram pointers
+// (the only indirection in the struct).
+func cloneStats(s *Stats) Stats {
+	out := *s
+	for d := range out.Lifetimes {
+		if s.Lifetimes[d] != nil {
+			h := *s.Lifetimes[d]
+			out.Lifetimes[d] = &h
+		}
+		if s.WriteIntervals[d] != nil {
+			h := *s.WriteIntervals[d]
+			out.WriteIntervals[d] = &h
+		}
+	}
+	return out
+}
+
+// Snapshot captures the cache's complete mutable state.
+func (c *Cache) Snapshot() State {
+	return State{
+		lines:       append([]line(nil), c.lines...),
+		tags:        append([]uint64(nil), c.tags...),
+		seq:         c.seq,
+		allOn:       c.allOn,
+		enabledMask: c.enabledMask,
+		domainMask:  c.domainMask,
+		stats:       cloneStats(&c.stats),
+	}
+}
+
+// Restore rewinds the cache to a snapshot taken from a cache of the
+// same geometry. The state is copied in, not aliased, so the same
+// State may be restored repeatedly. It panics on a geometry mismatch
+// (snapshots are not portable across configurations).
+func (c *Cache) Restore(s State) {
+	if len(s.lines) != len(c.lines) || len(s.tags) != len(c.tags) {
+		panic(fmt.Sprintf("cache %s: restoring snapshot of different geometry (%d lines, have %d)",
+			c.cfg.Name, len(s.lines), len(c.lines)))
+	}
+	copy(c.lines, s.lines)
+	copy(c.tags, s.tags)
+	c.seq = s.seq
+	c.allOn = s.allOn
+	c.enabledMask = s.enabledMask
+	c.domainMask = s.domainMask
+	c.stats = cloneStats(&s.stats)
+}
+
+// ShadowState is a copyable snapshot of a ShadowTags directory's
+// mutable state: the LRU tag stacks of the sampled sets plus the
+// stack-position hit counters. Geometry and the sampling selector are
+// construction-time constants and are not captured.
+type ShadowState struct {
+	entries   [][]uint64
+	hitsAtPos []uint64
+	misses    uint64
+	accesses  uint64
+}
+
+// Snapshot captures the directory's complete mutable state.
+func (st *ShadowTags) Snapshot() ShadowState {
+	entries := make([][]uint64, len(st.entries))
+	for i, e := range st.entries {
+		entries[i] = append([]uint64(nil), e...)
+	}
+	return ShadowState{
+		entries:   entries,
+		hitsAtPos: append([]uint64(nil), st.hitsAtPos...),
+		misses:    st.misses,
+		accesses:  st.accesses,
+	}
+}
+
+// Restore rewinds the directory to a snapshot from an identical
+// geometry. The state is copied in, so it may be restored repeatedly.
+func (st *ShadowTags) Restore(s ShadowState) {
+	if len(s.entries) != len(st.entries) || len(s.hitsAtPos) != len(st.hitsAtPos) {
+		panic("cache: restoring shadow-tags snapshot of different geometry")
+	}
+	for i, e := range s.entries {
+		st.entries[i] = append(st.entries[i][:0], e...)
+	}
+	copy(st.hitsAtPos, s.hitsAtPos)
+	st.misses = s.misses
+	st.accesses = s.accesses
+}
+
+// MonitorsState snapshots a DomainMonitors pair.
+type MonitorsState struct {
+	Mon [trace.NumDomains]ShadowState
+}
+
+// Snapshot captures both domains' directories.
+func (dm *DomainMonitors) Snapshot() MonitorsState {
+	return MonitorsState{Mon: [trace.NumDomains]ShadowState{
+		trace.User:   dm.Mon[trace.User].Snapshot(),
+		trace.Kernel: dm.Mon[trace.Kernel].Snapshot(),
+	}}
+}
+
+// Restore rewinds both domains' directories.
+func (dm *DomainMonitors) Restore(s MonitorsState) {
+	dm.Mon[trace.User].Restore(s.Mon[trace.User])
+	dm.Mon[trace.Kernel].Restore(s.Mon[trace.Kernel])
+}
+
+// Index exposes the set/tag decomposition of an address — the pure
+// function of (addr, geometry) the frame-precompute stage evaluates
+// ahead of the lookup loop.
+func (c *Cache) Index(addr uint64) (set int, tag uint64) { return c.index(addr) }
+
+// LookupAt is Lookup with the set/tag decomposition already done (by
+// Index over a precomputed frame). It is otherwise identical: counts
+// the access, touches on hit, and leaves fills to the caller.
+func (c *Cache) LookupAt(set int, tag uint64, write bool, dom trace.Domain, now uint64) (way int, hit bool) {
+	base := set * c.ways
+	c.stats.Accesses[dom]++
+	if c.allOn {
+		tags := c.tags[base : base+c.ways]
+		for w := range tags {
+			if tags[w] == tag {
+				if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+					c.stats.Hits[dom]++
+					if c.policy == LRU && !write {
+						c.seq++
+						ln.lruSeq = c.seq
+						ln.meta.LastTouch = now
+						ln.meta.RefreshCount = 0
+					} else {
+						c.touchLine(ln, set, w, write, dom, now)
+					}
+					return w, true
+				}
+			}
+		}
+		c.stats.Misses[dom]++
+		return -1, false
+	}
+	for m := c.enabledMask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+				c.stats.Hits[dom]++
+				if c.policy == LRU && !write {
+					c.seq++
+					ln.lruSeq = c.seq
+					ln.meta.LastTouch = now
+					ln.meta.RefreshCount = 0
+				} else {
+					c.touchLine(ln, set, w, write, dom, now)
+				}
+				return w, true
+			}
+		}
+	}
+	c.stats.Misses[dom]++
+	return -1, false
+}

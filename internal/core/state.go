@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"mobilecache/internal/cache"
+	"mobilecache/internal/energy"
+	"mobilecache/internal/sttram"
+	"mobilecache/internal/trace"
+)
+
+// This file implements snapshot/restore for every L2 organization.
+// L2State is deliberately opaque: each organization returns its own
+// concrete state and only accepts that same concrete type back, so a
+// snapshot can never be restored into a different design (or a
+// different geometry — the underlying cache.Restore enforces that).
+// States are independent deep copies and may be restored repeatedly.
+
+// L2State is an opaque snapshot of one L2 organization's mutable state.
+// Obtain one from L2.Snapshot; apply it with L2.Restore on an L2 of the
+// identical construction.
+type L2State interface {
+	l2State()
+}
+
+// segmentState captures one physical bank: the cache array, the energy
+// meter, the retention controller's scan clock/counters and the bank
+// busy horizon.
+type segmentState struct {
+	cache     cache.State
+	meter     energy.MeterState
+	ctrl      sttram.ControllerState
+	busyUntil []uint64
+}
+
+func (s *segment) snapshot() segmentState {
+	return segmentState{
+		cache:     s.c.Snapshot(),
+		meter:     s.meter.Snapshot(),
+		ctrl:      s.ctrl.Snapshot(),
+		busyUntil: append([]uint64(nil), s.busyUntil...),
+	}
+}
+
+func (s *segment) restore(st segmentState) {
+	s.c.Restore(st.cache)
+	s.meter.Restore(st.meter)
+	s.ctrl.Restore(st.ctrl)
+	if len(st.busyUntil) != len(s.busyUntil) {
+		panic(fmt.Sprintf("core: segment %s: restoring snapshot with %d banks, have %d",
+			s.cfg.Name, len(st.busyUntil), len(s.busyUntil)))
+	}
+	copy(s.busyUntil, st.busyUntil)
+}
+
+// unifiedState snapshots a Unified (and DrowsyUnified / SetPartition,
+// whose extra state is all construction-time configuration).
+type unifiedState struct {
+	seg segmentState
+}
+
+func (unifiedState) l2State() {}
+
+// Snapshot implements L2.
+func (u *Unified) Snapshot() L2State { return unifiedState{seg: u.seg.snapshot()} }
+
+// Restore implements L2.
+func (u *Unified) Restore(s L2State) {
+	st, ok := s.(unifiedState)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: restoring foreign L2 state %T", u.name, s))
+	}
+	u.seg.restore(st.seg)
+}
+
+// staticState snapshots a StaticPartition's two banks.
+type staticState struct {
+	segs [trace.NumDomains]segmentState
+}
+
+func (staticState) l2State() {}
+
+// Snapshot implements L2.
+func (sp *StaticPartition) Snapshot() L2State {
+	return staticState{segs: [trace.NumDomains]segmentState{
+		trace.User:   sp.segs[trace.User].snapshot(),
+		trace.Kernel: sp.segs[trace.Kernel].snapshot(),
+	}}
+}
+
+// Restore implements L2.
+func (sp *StaticPartition) Restore(s L2State) {
+	st, ok := s.(staticState)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: restoring foreign L2 state %T", sp.name, s))
+	}
+	sp.segs[trace.User].restore(st.segs[trace.User])
+	sp.segs[trace.Kernel].restore(st.segs[trace.Kernel])
+}
+
+// dynamicState snapshots a DynamicPartition: the bank plus the
+// controller's epoch machinery, utility monitors, allocation and
+// decision history.
+type dynamicState struct {
+	seg segmentState
+	mon cache.MonitorsState
+
+	epochAccesses uint64
+	epochLen      uint64
+	totalAccesses uint64
+	epoch         int
+
+	userWays, kernelWays int
+	history              []PartitionDecision
+	flushWritebacks      uint64
+}
+
+func (dynamicState) l2State() {}
+
+// Snapshot implements L2.
+func (dp *DynamicPartition) Snapshot() L2State {
+	return dynamicState{
+		seg:             dp.seg.snapshot(),
+		mon:             dp.mon.Snapshot(),
+		epochAccesses:   dp.epochAccesses,
+		epochLen:        dp.epochLen,
+		totalAccesses:   dp.totalAccesses,
+		epoch:           dp.epoch,
+		userWays:        dp.userWays,
+		kernelWays:      dp.kernelWays,
+		history:         append([]PartitionDecision(nil), dp.history...),
+		flushWritebacks: dp.flushWritebacks,
+	}
+}
+
+// Restore implements L2. The way masks and powered fraction live inside
+// the cache and meter states, so restoring them restores the allocation
+// without a flush.
+func (dp *DynamicPartition) Restore(s L2State) {
+	st, ok := s.(dynamicState)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: restoring foreign L2 state %T", dp.name, s))
+	}
+	dp.seg.restore(st.seg)
+	dp.mon.Restore(st.mon)
+	dp.epochAccesses = st.epochAccesses
+	dp.epochLen = st.epochLen
+	dp.totalAccesses = st.totalAccesses
+	dp.epoch = st.epoch
+	dp.userWays, dp.kernelWays = st.userWays, st.kernelWays
+	dp.history = append(dp.history[:0], st.history...)
+	dp.flushWritebacks = st.flushWritebacks
+}
+
+// Snapshot implements L2. A drowsy array's window/wake parameters are
+// configuration; the awake fraction is recomputed from line metadata at
+// each Advance, so the segment state is complete.
+func (d *DrowsyUnified) Snapshot() L2State { return unifiedState{seg: d.seg.snapshot()} }
+
+// Restore implements L2.
+func (d *DrowsyUnified) Restore(s L2State) {
+	st, ok := s.(unifiedState)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: restoring foreign L2 state %T", d.Name(), s))
+	}
+	d.seg.restore(st.seg)
+}
+
+// Snapshot implements L2. The set split is construction-time.
+func (sp *SetPartition) Snapshot() L2State { return unifiedState{seg: sp.seg.snapshot()} }
+
+// Restore implements L2.
+func (sp *SetPartition) Restore(s L2State) {
+	st, ok := s.(unifiedState)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: restoring foreign L2 state %T", sp.name, s))
+	}
+	sp.seg.restore(st.seg)
+}

@@ -63,6 +63,19 @@ type Result struct {
 	CyclesByDomain [trace.NumDomains]uint64
 }
 
+// Add accumulates another result into r — the stitching operation for
+// composing per-segment results. Every field is a plain sum.
+func (r *Result) Add(o Result) {
+	r.Instructions += o.Instructions
+	r.Cycles += o.Cycles
+	r.Accesses += o.Accesses
+	r.StallCycles += o.StallCycles
+	r.IdleCycles += o.IdleCycles
+	for d := range r.CyclesByDomain {
+		r.CyclesByDomain[d] += o.CyclesByDomain[d]
+	}
+}
+
 // IPC is instructions per active cycle.
 func (r Result) IPC() float64 {
 	if r.Cycles == 0 {
@@ -92,6 +105,7 @@ type CPU struct {
 	hier *mem.Hierarchy
 	now  uint64
 	buf  []trace.Access
+	pre  []mem.FramePre
 }
 
 // New builds a CPU over the hierarchy.
@@ -105,27 +119,45 @@ func New(cfg Config, hier *mem.Hierarchy) (*CPU, error) {
 	if cfg.AdvanceEvery == 0 {
 		cfg.AdvanceEvery = DefaultConfig().AdvanceEvery
 	}
-	return &CPU{cfg: cfg, hier: hier, buf: make([]trace.Access, stepBatchLen)}, nil
+	return &CPU{
+		cfg: cfg, hier: hier,
+		buf: make([]trace.Access, stepBatchLen),
+		pre: make([]mem.FramePre, stepBatchLen),
+	}, nil
 }
 
 // Now reports the current simulated cycle.
 func (c *CPU) Now() uint64 { return c.now }
 
-// Run replays up to maxAccesses records from src (0 = until the source
-// ends) and returns the timing result. Run may be called repeatedly;
-// time continues from where the previous call stopped.
-//
-// Replay cursors take devirtualized fast paths: a trace.SliceCursor
-// (hot-tier decoded replay) is stepped over zero-copy batches of its
-// records, and a trace.Cursor (packed replay) is bulk-decoded into the
-// staging buffer — in both cases the per-access interface round-trip
-// through Source.Next disappears, which is what keeps steady-state
-// replay at zero allocations and full speed. All paths execute the
-// identical per-access step, so results never depend on the source's
-// type.
-func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
-	var res Result
-	st := stepState{
+// State is a copyable snapshot of the CPU's own mutable state — the
+// simulated clock. Replay-loop state lives in RunState; the staging
+// buffers are scratch.
+type State struct {
+	Now uint64
+}
+
+// Snapshot captures the CPU state.
+func (c *CPU) Snapshot() State { return State{Now: c.now} }
+
+// Restore rewinds the CPU to a snapshot.
+func (c *CPU) Restore(s State) { c.now = s.Now }
+
+// RunState is the resumable replay state a sequence of RunFrom calls
+// threads: the accumulated result plus the idle/advance countdowns that
+// must survive a segment boundary for the serial composition to be
+// bit-identical to one uninterrupted Run. Obtain one from NewRunState.
+type RunState struct {
+	res Result
+	st  stepState
+}
+
+// Result returns the result accumulated so far.
+func (rs *RunState) Result() Result { return rs.res }
+
+// NewRunState starts a fresh replay: zero counters, idle/advance
+// countdowns reset from the config — exactly the state Run begins with.
+func (c *CPU) NewRunState() *RunState {
+	return &RunState{st: stepState{
 		// Countdown counters replace per-access modulo checks against
 		// IdleEvery/AdvanceEvery; a zero idleLeft start disables idling
 		// (the counter never moves). AdvanceEvery is always positive
@@ -136,7 +168,41 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 		// so a unit CPI — every standard config — can skip the float
 		// round-trip without changing a single cycle.
 		unitCPI: c.cfg.BaseCPI == 1.0,
-	}
+	}}
+}
+
+// Run replays up to maxAccesses records from src (0 = until the source
+// ends) and returns the timing result. Run may be called repeatedly;
+// time continues from where the previous call stopped.
+//
+// Run is exactly NewRunState + RunFrom + Finish, so a replay split into
+// segments — consecutive RunFrom calls on one RunState, one Finish at
+// the end — is bit-identical to a single Run by construction (and
+// pinned by the sim-level golden equivalence tests).
+func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
+	rs := c.NewRunState()
+	c.RunFrom(rs, src, maxAccesses)
+	c.Finish()
+	return rs.res
+}
+
+// RunFrom replays up to maxAccesses records from src (0 = until the
+// source ends), continuing the replay rs describes, and returns this
+// call's contribution (also accumulated into rs). Unlike Run it does
+// not synchronize the hierarchy's leakage clocks at the end — call
+// Finish after the last segment. maxAccesses bounds this call alone.
+//
+// Replay cursors take devirtualized fast paths: a trace.SliceCursor
+// (hot-tier decoded replay) is stepped over zero-copy batches of its
+// records, and a trace.Cursor (packed replay) is bulk-decoded into the
+// staging buffer — in both cases the per-access interface round-trip
+// through Source.Next disappears, which is what keeps steady-state
+// replay at zero allocations and full speed. All paths execute the
+// identical per-access step, so results never depend on the source's
+// type.
+func (c *CPU) RunFrom(rs *RunState, src trace.Source, maxAccesses uint64) Result {
+	var res Result
+	st := &rs.st
 	if cur, ok := src.(*trace.SliceCursor); ok {
 		// Hot-tier replay: the records already exist in memory, so the
 		// machine steps directly over shared sub-slices of them — no
@@ -152,9 +218,9 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 			if len(b) == 0 {
 				break
 			}
-			c.stepBatch(b, &res, &st)
+			c.stepBatch(b, &res, st)
 		}
-		c.hier.Advance(c.now)
+		rs.res.Add(res)
 		return res
 	}
 	if cur, ok := src.(*trace.Cursor); ok {
@@ -169,7 +235,7 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 			if n == 0 {
 				break
 			}
-			c.stepBatch(c.buf[:n], &res, &st)
+			c.stepBatch(c.buf[:n], &res, st)
 		}
 	} else if bd, ok := src.(batchDecoder); ok {
 		// Any other bulk-decoding source (e.g. the set-sampling filter
@@ -187,7 +253,7 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 			if n == 0 {
 				break
 			}
-			c.stepBatch(c.buf[:n], &res, &st)
+			c.stepBatch(c.buf[:n], &res, st)
 		}
 	} else {
 		for maxAccesses == 0 || res.Accesses < maxAccesses {
@@ -209,11 +275,20 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 			if n == 0 {
 				break
 			}
-			c.stepBatch(c.buf[:n], &res, &st)
+			c.stepBatch(c.buf[:n], &res, st)
 		}
 	}
-	c.hier.Advance(c.now)
+	rs.res.Add(res)
 	return res
+}
+
+// Finish synchronizes the hierarchy's leakage clocks with the CPU
+// clock — the step Run performs after its replay loop. Call it once
+// after the last RunFrom of a composed replay; calling it between
+// segments would change how the leakage integral associates (floats)
+// even though every integer counter would be identical.
+func (c *CPU) Finish() {
+	c.hier.Advance(c.now)
 }
 
 // batchDecoder is the bulk-fill contract sources can implement to
@@ -239,49 +314,64 @@ type stepState struct {
 func (c *CPU) stepBatch(batch []trace.Access, res *Result, st *stepState) {
 	now := c.now
 	hier := c.hier
+	pre := c.pre
 	idleLeft, advLeft := st.idleLeft, st.advLeft
 	var instrs, cycles, stalls uint64
 	var byDomain [trace.NumDomains]uint64
 
-	for _, a := range batch {
-		instr := a.Instructions()
-		var busy uint64
-		if st.unitCPI {
-			busy = instr
-		} else {
-			busy = uint64(float64(instr) * c.cfg.BaseCPI)
+	res.Accesses += uint64(len(batch))
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > stepBatchLen {
+			chunk = batch[:stepBatchLen]
 		}
-		if busy == 0 {
-			busy = 1
-		}
-		now += busy
-		stall := hier.Access(a, now)
-		now += stall
+		batch = batch[len(chunk):]
+		// Frame precompute: the L1 routing and set/tag decomposition are
+		// pure functions of each record, so they run as one tight pass
+		// over the chunk with no cache-state dependencies; the step loop
+		// below then starts every access directly at the tag scan
+		// (AccessPre), branch-minimized. Identical effects to calling
+		// hier.Access per record — see mem/frame.go.
+		hier.PrecomputeFrame(chunk, pre)
+		for i, a := range chunk {
+			instr := a.Instructions()
+			var busy uint64
+			if st.unitCPI {
+				busy = instr
+			} else {
+				busy = uint64(float64(instr) * c.cfg.BaseCPI)
+			}
+			if busy == 0 {
+				busy = 1
+			}
+			now += busy
+			stall := hier.AccessPre(a, pre[i], now)
+			now += stall
 
-		instrs += instr
-		cycles += busy + stall
-		stalls += stall
-		byDomain[a.Domain] += busy + stall
+			instrs += instr
+			cycles += busy + stall
+			stalls += stall
+			byDomain[a.Domain] += busy + stall
 
-		if idleLeft > 0 {
-			if idleLeft--; idleLeft == 0 {
-				idleLeft = c.cfg.IdleEvery
-				now += c.cfg.IdleCycles
-				res.IdleCycles += c.cfg.IdleCycles
-				// Let retention controllers and leakage meters observe
-				// the idle stretch immediately.
+			if idleLeft > 0 {
+				if idleLeft--; idleLeft == 0 {
+					idleLeft = c.cfg.IdleEvery
+					now += c.cfg.IdleCycles
+					res.IdleCycles += c.cfg.IdleCycles
+					// Let retention controllers and leakage meters observe
+					// the idle stretch immediately.
+					hier.Advance(now)
+				}
+			}
+			if advLeft--; advLeft == 0 {
+				advLeft = c.cfg.AdvanceEvery
 				hier.Advance(now)
 			}
-		}
-		if advLeft--; advLeft == 0 {
-			advLeft = c.cfg.AdvanceEvery
-			hier.Advance(now)
 		}
 	}
 
 	c.now = now
 	st.idleLeft, st.advLeft = idleLeft, advLeft
-	res.Accesses += uint64(len(batch))
 	res.Instructions += instrs
 	res.Cycles += cycles
 	res.StallCycles += stalls

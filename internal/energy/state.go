@@ -1,0 +1,29 @@
+package energy
+
+// MeterState is a copyable snapshot of a Meter's mutable state: the
+// event counters the dynamic buckets derive from, the integrated
+// leakage, the integration clock and the powered fraction. Params and
+// capacity are construction-time constants and are not captured.
+type MeterState struct {
+	reads     uint64
+	writes    uint64
+	refreshes uint64
+	bd        Breakdown
+	lastCycle uint64
+	powered   float64
+}
+
+// Snapshot captures the meter's complete mutable state.
+func (m *Meter) Snapshot() MeterState {
+	return MeterState{
+		reads: m.reads, writes: m.writes, refreshes: m.refreshes,
+		bd: m.bd, lastCycle: m.lastCycle, powered: m.powered,
+	}
+}
+
+// Restore rewinds the meter to a snapshot. MeterState is a pure value,
+// so the same state may be restored repeatedly.
+func (m *Meter) Restore(s MeterState) {
+	m.reads, m.writes, m.refreshes = s.reads, s.writes, s.refreshes
+	m.bd, m.lastCycle, m.powered = s.bd, s.lastCycle, s.powered
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mobilecache/internal/sample"
+	"mobilecache/internal/sim"
+)
+
+// An enabled segment plan must change the content key (a stitched
+// estimate must never be served for a serial run or vice versa, and
+// different segmentations are different content), while worker count
+// and a disabled plan must not.
+func TestSegmentKeyAliasing(t *testing.T) {
+	c := testCell(t, "baseline-sram", 0, 1)
+	legacy, err := keyOf(c, 10_000, 0, sample.Spec{}, sim.SegmentPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled, err := keyOf(c, 10_000, 0, sample.Spec{}, sim.SegmentPlan{Segments: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disabled != legacy {
+		t.Error("disabled segment plan changed the content key")
+	}
+	seen := map[interface{}]sim.SegmentPlan{legacy: {}}
+	for _, p := range []sim.SegmentPlan{
+		{Segments: 2},
+		{Segments: 4},
+		{Segments: 4, Warmup: -1},
+		{Segments: 4, Warmup: 4096},
+	} {
+		k, err := keyOf(c, 10_000, 0, sample.Spec{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("plan %+v key collides with %+v", p, prev)
+		}
+		seen[k] = p
+	}
+	// Workers never change the stitched content, so they must not
+	// change the key.
+	a, _ := keyOf(c, 10_000, 0, sample.Spec{}, sim.SegmentPlan{Segments: 4, Workers: 1})
+	b, _ := keyOf(c, 10_000, 0, sample.Spec{}, sim.SegmentPlan{Segments: 4, Workers: 8})
+	if a != b {
+		t.Error("worker count changed the content key")
+	}
+}
+
+// TestSegmentedSmoke is the CI structural gate: a small plan executed
+// with SegmentWorkers produces stitched reports that cover every
+// record, carry the segment mark, and exactly match the serial arm's
+// integer counters in oracle (full-prefix) mode.
+func TestSegmentedSmoke(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	cells := []Cell{
+		testCell(t, "baseline-sram", 0, 2),
+		testCell(t, "dp-sr", 0, 2),
+	}
+	plan := Plan{Cells: cells, Accesses: 24_000}
+
+	serialCol := NewCollector()
+	if _, err := eng.Execute(context.Background(), plan, ExecOptions{}, serialCol); err != nil {
+		t.Fatal(err)
+	}
+	segCol := NewCollector()
+	if _, err := eng.Execute(context.Background(), plan, ExecOptions{SegmentWorkers: 3, SegmentWarmup: -1}, segCol); err != nil {
+		t.Fatal(err)
+	}
+	if len(segCol.Results) != len(serialCol.Results) {
+		t.Fatalf("segmented arm returned %d results, serial %d", len(segCol.Results), len(serialCol.Results))
+	}
+	for i, sr := range segCol.Results {
+		ser := serialCol.Results[i].Report
+		seg := sr.Report
+		if seg.Segments != 3 {
+			t.Fatalf("%s: report marks %d segments", sr.Cell.Machine, seg.Segments)
+		}
+		if !reflect.DeepEqual(ser.CPU, seg.CPU) {
+			t.Fatalf("%s: oracle-mode segmented CPU diverges from serial", sr.Cell.Machine)
+		}
+		if !reflect.DeepEqual(ser.L2, seg.L2) {
+			t.Fatalf("%s: oracle-mode segmented L2 stats diverge from serial", sr.Cell.Machine)
+		}
+		if ser.DRAMReads != seg.DRAMReads || ser.DRAMWrites != seg.DRAMWrites {
+			t.Fatalf("%s: oracle-mode segmented DRAM traffic diverges", sr.Cell.Machine)
+		}
+	}
+}
+
+// Segmented replay composes with neither plan-level warmup nor set
+// sampling; Execute must reject both before any cell runs.
+func TestSegmentedCompositionRejected(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	cells := []Cell{testCell(t, "baseline-sram", 0, 2)}
+	warm := Plan{Cells: cells, Accesses: 10_000, Warmup: 1000}
+	if _, err := eng.Execute(context.Background(), warm, ExecOptions{SegmentWorkers: 2}); err == nil {
+		t.Fatal("segmented + warmup accepted")
+	}
+	sampled := Plan{Cells: cells, Accesses: 10_000, Sample: sample.Spec{Factor: 4}}
+	if _, err := eng.Execute(context.Background(), sampled, ExecOptions{SegmentWorkers: 2}); err == nil {
+		t.Fatal("segmented + sampling accepted")
+	}
+}
+
+// TestValidateSegmentedOracle runs the audit harness in exact mode: the
+// stitched integer counters match serially, so the miss-rate error is
+// identically zero and the energy error is float-association noise.
+func TestValidateSegmentedOracle(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	cells := []Cell{
+		testCell(t, "baseline-sram", 0, 3),
+		testCell(t, "sp-mr", 0, 3),
+	}
+	plan := Plan{Cells: cells, Accesses: 24_000}
+	v, err := eng.ValidateSegmented(context.Background(), plan, sim.SegmentPlan{Segments: 3, Warmup: -1}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Machines) != 2 {
+		t.Fatalf("validation covered %d machines", len(v.Machines))
+	}
+	for _, m := range v.Machines {
+		if m.MissRateRelErr != 0 {
+			t.Fatalf("%s: oracle-mode miss-rate error %.3g (stitching bug)", m.Machine, m.MissRateRelErr)
+		}
+	}
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v.SerialWall <= 0 || v.SegmentedWall <= 0 {
+		t.Fatal("validation did not time both arms")
+	}
+}
+
+// RunOneSegmented with a disabled plan is exactly RunOne — same report,
+// same memo entry.
+func TestRunOneSegmentedDisabled(t *testing.T) {
+	eng := New(Config{})
+	c := testCell(t, "sp-mr", 0, 5)
+	serial, err := eng.RunOne(context.Background(), c, 12_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSeg, err := eng.RunOneSegmented(context.Background(), c, 12_000, sim.SegmentPlan{Segments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, viaSeg) {
+		t.Fatal("disabled segment plan diverges from RunOne")
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"mobilecache/internal/sim"
+)
+
+// SegmentMachineError is one machine's segmented-vs-serial comparison,
+// aggregated over every (app, seed) cell of the validation plan.
+type SegmentMachineError struct {
+	Machine string
+	// Serial / Segmented L2 miss rates (aggregate misses over
+	// aggregate accesses) and total energies (joules, summed over
+	// cells).
+	SerialMissRate    float64
+	SegmentedMissRate float64
+	SerialEnergyJ     float64
+	SegmentedEnergyJ  float64
+	// MissRateRelErr and EnergyRelErr are |segmented-serial|/serial
+	// (0 when the serial denominator is 0).
+	MissRateRelErr float64
+	EnergyRelErr   float64
+}
+
+// SegmentValidation is the outcome of one segmented-vs-serial stitch
+// audit: per-machine relative errors of the headline metrics plus the
+// wall-clock of both arms. Wall-clock is informative, not a controlled
+// benchmark — memo hits make an arm nearly free, and on a machine with
+// few cores the segment workers have nowhere to spread.
+type SegmentValidation struct {
+	Plan      sim.SegmentPlan
+	Tolerance float64
+	Machines  []SegmentMachineError
+	// SerialWall and SegmentedWall time the two Execute arms.
+	SerialWall    time.Duration
+	SegmentedWall time.Duration
+}
+
+// Speedup is the serial arm's wall-clock over the segmented arm's.
+func (v SegmentValidation) Speedup() float64 {
+	if v.SegmentedWall <= 0 {
+		return 0
+	}
+	return float64(v.SerialWall) / float64(v.SegmentedWall)
+}
+
+// Err reports the machines breaching the tolerance, nil when all are
+// within it.
+func (v SegmentValidation) Err() error {
+	var bad []string
+	for _, m := range v.Machines {
+		if m.MissRateRelErr > v.Tolerance || m.EnergyRelErr > v.Tolerance {
+			bad = append(bad, fmt.Sprintf("%s (miss rate %.2f%%, energy %.2f%%)",
+				m.Machine, 100*m.MissRateRelErr, 100*m.EnergyRelErr))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("engine: segmented replay (%d segments, warmup %d) exceeds %.1f%% relative error on: %s",
+		v.Plan.Segments, v.Plan.Warmup, 100*v.Tolerance, strings.Join(bad, ", "))
+}
+
+// ValidateSegmented runs the plan twice — serial and segmented under
+// seg — and aggregates per-machine relative errors of the two headline
+// metrics (L2 miss rate, total energy). The returned error covers
+// execution failures only; tolerance breaches are reported by the
+// validation's Err so callers decide whether they are fatal. Both arms
+// share the engine's trace arena, and their content keys differ by
+// construction, so the arms can never serve each other's memo entries.
+// With seg.Warmup < 0 (exact full-prefix mode) the audit doubles as the
+// equivalence gate: any nonzero miss-rate error is a stitching bug.
+func (e *Engine) ValidateSegmented(ctx context.Context, plan Plan, seg sim.SegmentPlan, tol float64) (SegmentValidation, error) {
+	v := SegmentValidation{Plan: seg.Norm(), Tolerance: tol}
+	if err := seg.Validate(); err != nil {
+		return v, err
+	}
+	if !seg.Enabled() {
+		return v, fmt.Errorf("engine: segment validation needs >= 2 segments, got %d", seg.Segments)
+	}
+	if plan.Warmup > 0 || plan.Sample.Norm().Enabled() {
+		return v, fmt.Errorf("engine: segment validation plans must be cold and unsampled")
+	}
+
+	type agg struct {
+		accesses, misses uint64
+		energyJ          float64
+	}
+	runArm := func(opt ExecOptions) (map[string]*agg, []string, time.Duration, error) {
+		col := NewCollector()
+		start := time.Now()
+		sum, err := e.Execute(ctx, plan, opt, col)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, nil, wall, err
+		}
+		if n := len(sum.Manifest.Failed); n > 0 {
+			return nil, nil, wall, fmt.Errorf("engine: %d cells failed during segment validation", n)
+		}
+		aggs := make(map[string]*agg)
+		var order []string
+		for _, r := range col.Results {
+			a := aggs[r.Cell.Machine]
+			if a == nil {
+				a = &agg{}
+				aggs[r.Cell.Machine] = a
+				order = append(order, r.Cell.Machine)
+			}
+			a.accesses += r.Report.L2.TotalAccesses()
+			a.misses += r.Report.L2.TotalMisses()
+			a.energyJ += r.Report.Energy.TotalJ()
+		}
+		return aggs, order, wall, nil
+	}
+
+	serial, order, serialWall, err := runArm(ExecOptions{})
+	if err != nil {
+		return v, err
+	}
+	v.SerialWall = serialWall
+	segmented, _, segmentedWall, err := runArm(ExecOptions{SegmentWorkers: v.Plan.Segments, SegmentWarmup: v.Plan.Warmup})
+	if err != nil {
+		return v, err
+	}
+	v.SegmentedWall = segmentedWall
+
+	missRate := func(a *agg) float64 {
+		if a.accesses == 0 {
+			return 0
+		}
+		return float64(a.misses) / float64(a.accesses)
+	}
+	for _, machine := range order {
+		s, g := serial[machine], segmented[machine]
+		if g == nil {
+			return v, fmt.Errorf("engine: machine %s missing from segmented arm", machine)
+		}
+		m := SegmentMachineError{
+			Machine:           machine,
+			SerialMissRate:    missRate(s),
+			SegmentedMissRate: missRate(g),
+			SerialEnergyJ:     s.energyJ,
+			SegmentedEnergyJ:  g.energyJ,
+		}
+		m.MissRateRelErr = relErr(m.SegmentedMissRate, m.SerialMissRate)
+		m.EnergyRelErr = relErr(m.SegmentedEnergyJ, m.SerialEnergyJ)
+		v.Machines = append(v.Machines, m)
+	}
+	return v, nil
+}

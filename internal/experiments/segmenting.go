@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"context"
+
+	"mobilecache/internal/engine"
+	"mobilecache/internal/sim"
+)
+
+// ValidateSegmented compares segmented against serial replay on the
+// standard validation grid: every standard machine × the option's apps
+// × two seed bases, at the option's trace length. Two seed bases
+// matter here for the same reason they do in ValidateSample — the
+// adaptive schemes' epoch-boundary repartition decisions are
+// phase-shifted at segment boundaries, and aggregating two independent
+// trace realisations averages that estimator variance down. With
+// seg.Warmup < 0 the grid doubles as the stitching equivalence gate:
+// every integer counter must match serially, so any miss-rate error is
+// a bug, not an approximation. EXPERIMENTS.md documents the audit
+// methodology and the measured error table.
+func ValidateSegmented(opts Options, seg sim.SegmentPlan, tol float64) (engine.SegmentValidation, error) {
+	if err := opts.Validate(); err != nil {
+		return engine.SegmentValidation{}, err
+	}
+	var cells []engine.Cell
+	for _, cfg := range sim.StandardMachines() {
+		for i, app := range opts.Apps {
+			for _, base := range []uint64{opts.Seed, opts.Seed + 1} {
+				cells = append(cells, engine.Cell{
+					Machine: cfg.Name, Config: cfg, App: app.Name, Profile: app,
+					Seed: appSeed(base, i),
+				})
+			}
+		}
+	}
+	plan := engine.Plan{Cells: cells, Accesses: opts.Accesses}
+	return opts.eng().ValidateSegmented(context.Background(), plan, seg, tol)
+}

@@ -1,0 +1,61 @@
+package mem
+
+import (
+	"mobilecache/internal/trace"
+)
+
+// This file implements the frame-precompute stage of the batched replay
+// path. The per-access L1 lookup spends its first instructions deciding
+// which L1 the access targets and decomposing the address into (set,
+// tag) — pure functions of the record and the fixed geometry. Over a
+// decoded frame those decisions vectorize into one tight pass with no
+// cache-state dependencies, and the subsequent lookup loop runs
+// branch-minimized: AccessPre starts directly at the tag scan via
+// cache.LookupAt. The split is bit-identical to Access by construction
+// — LookupAt is Lookup minus the index computation, and the miss
+// continuation is the shared missPath.
+
+// FramePre is the precomputed per-record lookup context: the target
+// L1's set/tag decomposition and the decoded op classification.
+type FramePre struct {
+	Tag    uint64
+	Set    int32
+	Write  bool
+	Ifetch bool
+}
+
+// PrecomputeFrame fills pre[i] for each record of the frame. pre must
+// be at least len(batch) long.
+func (h *Hierarchy) PrecomputeFrame(batch []trace.Access, pre []FramePre) {
+	ic, dc := h.L1I.c, h.L1D.c
+	_ = pre[len(batch)-1]
+	for i := range batch {
+		a := &batch[i]
+		c := dc
+		isIF := a.Op == trace.Ifetch
+		if isIF {
+			c = ic
+		}
+		set, tag := c.Index(a.Addr)
+		pre[i] = FramePre{Tag: tag, Set: int32(set), Write: a.Op.IsWrite(), Ifetch: isIF}
+	}
+}
+
+// AccessPre is Access with the precomputed context applied: identical
+// counters, state transitions and stall cycles, minus the per-access
+// routing and index arithmetic.
+func (h *Hierarchy) AccessPre(a trace.Access, p FramePre, now uint64) uint64 {
+	l1 := h.L1D
+	if p.Ifetch {
+		l1 = h.L1I
+	}
+	if _, hit := l1.c.LookupAt(int(p.Set), p.Tag, p.Write, a.Domain, now); hit {
+		if p.Write {
+			l1.meter.Write(1)
+		} else {
+			l1.meter.Read(1)
+		}
+		return 0
+	}
+	return h.missPath(l1, a, p.Write, now)
+}

@@ -289,7 +289,13 @@ func (h *Hierarchy) Access(a trace.Access, now uint64) uint64 {
 		}
 		return 0
 	}
+	return h.missPath(l1, a, write, now)
+}
 
+// missPath is the L1-miss continuation shared by Access and AccessPre:
+// demand fill through the L2 (and DRAM on an L2 miss), victim
+// writeback, and the optional next-line prefetch.
+func (h *Hierarchy) missPath(l1 *L1, a trace.Access, write bool, now uint64) uint64 {
 	// L1 miss: demand-read the block from L2.
 	l1.meter.Read(1) // tag probe
 	blockAddr := l1.c.BlockAddr(a.Addr)

@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"fmt"
+
+	"mobilecache/internal/cache"
+	"mobilecache/internal/core"
+	"mobilecache/internal/energy"
+)
+
+// This file implements snapshot/restore of the memory hierarchy. A
+// HierState is an independent deep copy of every mutable structure the
+// access path touches — both L1 arrays and meters, the L2
+// organization's opaque state, the DRAM counters and open rows, and the
+// hierarchy's own prefetch/advance bookkeeping — so restoring one and
+// replaying the same access stream reproduces the original run
+// bit-identically.
+
+// DRAMState is a copyable snapshot of the DRAM model's mutable state.
+type DRAMState struct {
+	reads     uint64
+	writes    uint64
+	energyJ   float64
+	openRows  []uint64
+	rowHits   uint64
+	rowMisses uint64
+}
+
+// Snapshot captures the DRAM's complete mutable state.
+func (d *DRAM) Snapshot() DRAMState {
+	return DRAMState{
+		reads: d.reads, writes: d.writes, energyJ: d.energyJ,
+		openRows: append([]uint64(nil), d.openRows...),
+		rowHits:  d.rowHits, rowMisses: d.rowMisses,
+	}
+}
+
+// Restore rewinds the DRAM to a snapshot of the same configuration.
+func (d *DRAM) Restore(s DRAMState) {
+	if len(s.openRows) != len(d.openRows) {
+		panic(fmt.Sprintf("mem: restoring DRAM snapshot with %d banks, have %d", len(s.openRows), len(d.openRows)))
+	}
+	d.reads, d.writes, d.energyJ = s.reads, s.writes, s.energyJ
+	copy(d.openRows, s.openRows)
+	d.rowHits, d.rowMisses = s.rowHits, s.rowMisses
+}
+
+// L1State snapshots one first-level cache: array plus meter.
+type L1State struct {
+	cache cache.State
+	meter energy.MeterState
+}
+
+// Snapshot captures the L1's complete mutable state.
+func (l *L1) Snapshot() L1State {
+	return L1State{cache: l.c.Snapshot(), meter: l.meter.Snapshot()}
+}
+
+// Restore rewinds the L1 to a snapshot of the same geometry.
+func (l *L1) Restore(s L1State) {
+	l.c.Restore(s.cache)
+	l.meter.Restore(s.meter)
+}
+
+// HierState snapshots the full hierarchy.
+type HierState struct {
+	L1I  L1State
+	L1D  L1State
+	L2   core.L2State
+	DRAM DRAMState
+
+	prefetches  uint64
+	lastAdvance uint64
+}
+
+// Snapshot captures the hierarchy's complete mutable state.
+func (h *Hierarchy) Snapshot() *HierState {
+	return &HierState{
+		L1I:  h.L1I.Snapshot(),
+		L1D:  h.L1D.Snapshot(),
+		L2:   h.L2.Snapshot(),
+		DRAM: h.DRAM.Snapshot(),
+
+		prefetches:  h.Prefetches,
+		lastAdvance: h.lastAdvance,
+	}
+}
+
+// Restore rewinds the hierarchy to a snapshot taken from an identically
+// constructed hierarchy. The state is copied in, so the same snapshot
+// may be restored repeatedly.
+func (h *Hierarchy) Restore(s *HierState) {
+	h.L1I.Restore(s.L1I)
+	h.L1D.Restore(s.L1D)
+	h.L2.Restore(s.L2)
+	h.DRAM.Restore(s.DRAM)
+	h.Prefetches = s.prefetches
+	h.lastAdvance = s.lastAdvance
+}

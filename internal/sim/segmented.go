@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"mobilecache/internal/config"
+	"mobilecache/internal/core"
+	"mobilecache/internal/cpu"
+	"mobilecache/internal/energy"
+	"mobilecache/internal/mem"
+	"mobilecache/internal/trace"
+	"mobilecache/internal/tracestore"
+	"mobilecache/internal/workload"
+)
+
+// This file implements segmented intra-cell replay: one (machine,
+// workload) cell's record stream is split into contiguous segments,
+// each replayed on its own freshly built machine from a warm state
+// established by replaying a warmup prefix, and the per-segment
+// measured deltas are stitched into one report. Because every segment
+// is independent, they replay concurrently — the parallelism axis the
+// engine's cell-level worker pool cannot reach when a sweep has fewer
+// cells than cores.
+//
+// Two warmup regimes:
+//
+//   - Exact (Warmup < 0): segment k warms over the full prefix
+//     [0, start_k). The machine state at measurement start is the
+//     serial machine state at that record, the RunState is continuous
+//     across warmup and measurement, and the stitched integer counters
+//     (hits, misses, evictions, refreshes, cycles, DRAM traffic, the
+//     partition trajectory) exactly equal the serial run's. Only the
+//     float energy terms differ, at last-ulp association order, because
+//     each segment's leakage integral is accumulated in its own sum.
+//     Total replay work is O(Segments * N) — this mode is the
+//     equivalence oracle, not the fast path.
+//
+//   - Approximate (Warmup >= 0): segment k warms over at most Warmup
+//     records immediately preceding it. Total work is N + Segments *
+//     Warmup, wall-clock divides by the worker count, and the stitched
+//     counters carry a bounded cold-boundary error that the
+//     engine.ValidateSegmented harness audits (see DESIGN.md for the
+//     error model).
+//
+// The warmup/measure boundary inside one segment reuses the warm-diff
+// machinery of RunWarm: all counters are cumulative, so the measured
+// contribution is the difference of two snapshots, and the hierarchy's
+// leakage clocks are synchronized once at the boundary so warmup-era
+// leakage never leaks into the measured delta.
+
+// DefaultSegmentWarmup is the per-segment warmup prefix used when a
+// SegmentPlan leaves Warmup zero. The stitch error is dominated by
+// L2-resident state the warmup fails to rebuild, so the prefix must
+// cover the working set's reuse distance, not just the hot set: on the
+// standard 1MB machines the measured miss-rate error collapses from
+// ~6% at a 32k prefix to ~0.4% at 64k (the knee where warmup refills
+// the fits-in-L2 working set) and keeps falling beyond it. 64k also
+// spans two repartition epochs, letting the dynamic controller
+// re-converge before measurement starts.
+const DefaultSegmentWarmup = 65_536
+
+// SegmentPlan describes how to split one cell's replay.
+type SegmentPlan struct {
+	// Segments is how many contiguous pieces the stream splits into.
+	// <= 1 disables segmentation.
+	Segments int
+	// Warmup is the per-segment warmup prefix in records: >= 1 replays
+	// that many records before each segment's measured range, 0 selects
+	// DefaultSegmentWarmup, and < 0 selects exact full-prefix warmup
+	// (bit-identical integer counters, no speedup — the oracle mode).
+	Warmup int
+	// Workers bounds how many segments replay concurrently; <= 0 means
+	// one worker per segment.
+	Workers int
+}
+
+// Enabled reports whether the plan actually segments the replay.
+func (p SegmentPlan) Enabled() bool { return p.Segments > 1 }
+
+// Norm fills defaulted fields.
+func (p SegmentPlan) Norm() SegmentPlan {
+	if p.Warmup == 0 {
+		p.Warmup = DefaultSegmentWarmup
+	}
+	if p.Workers <= 0 {
+		p.Workers = p.Segments
+	}
+	return p
+}
+
+// Validate reports plan errors.
+func (p SegmentPlan) Validate() error {
+	if p.Segments < 1 {
+		return fmt.Errorf("sim: segment plan needs >= 1 segments, got %d", p.Segments)
+	}
+	return nil
+}
+
+func addBreakdown(a *energy.Breakdown, b energy.Breakdown) {
+	a.ReadJ += b.ReadJ
+	a.WriteJ += b.WriteJ
+	a.LeakageJ += b.LeakageJ
+	a.RefreshJ += b.RefreshJ
+}
+
+func addEnergy(a *mem.EnergyReport, b mem.EnergyReport) {
+	addBreakdown(&a.L1I, b.L1I)
+	addBreakdown(&a.L1D, b.L1D)
+	addBreakdown(&a.L2, b.L2)
+	a.DRAMJ += b.DRAMJ
+}
+
+func addL2Stats(a *core.L2Stats, b core.L2Stats) {
+	for d := 0; d < trace.NumDomains; d++ {
+		a.Accesses[d] += b.Accesses[d]
+		a.Hits[d] += b.Hits[d]
+		a.Misses[d] += b.Misses[d]
+	}
+	a.Evictions += b.Evictions
+	a.InterferenceEvictions += b.InterferenceEvictions
+	a.Writebacks += b.Writebacks
+	a.ExpiryInvalidations += b.ExpiryInvalidations
+	a.Refreshes += b.Refreshes
+	a.EagerWritebacks += b.EagerWritebacks
+	a.CleanExpiries += b.CleanExpiries
+	a.DirtyExpiries += b.DirtyExpiries
+	a.FaultExpiries += b.FaultExpiries
+}
+
+// segmentResult is one segment's measured delta plus the end-state
+// capacity snapshot (the last segment's wins in the stitched report).
+type segmentResult struct {
+	cpu      cpu.Result
+	l2       core.L2Stats
+	energy   mem.EnergyReport
+	dramR    uint64
+	dramW    uint64
+	history  []core.PartitionDecision
+	flush    uint64
+	powered  uint64
+	installd uint64
+}
+
+// RunSegmented splits the first `accesses` records of tr (0 or past the
+// end means all of them) into plan.Segments contiguous segments,
+// replays each on its own machine built from cfg — warmed per the
+// plan's regime — and stitches the measured deltas into one report.
+// Segments replay concurrently under plan.Workers. With Segments <= 1
+// the replay is the ordinary serial RunTrace.
+func RunSegmented(cfg config.Machine, name string, tr tracestore.Trace, accesses int, plan SegmentPlan) (RunReport, error) {
+	if err := plan.Validate(); err != nil {
+		return RunReport{}, err
+	}
+	n := 0
+	switch {
+	case tr.Records != nil:
+		n = len(tr.Records)
+	case tr.Packed != nil:
+		n = tr.Packed.Len()
+	default:
+		return RunReport{}, fmt.Errorf("sim: segmented replay of empty trace")
+	}
+	if accesses > 0 && accesses < n {
+		n = accesses
+	}
+	if n == 0 {
+		return RunReport{}, fmt.Errorf("sim: segmented replay of zero records")
+	}
+	plan = plan.Norm()
+	segments := plan.Segments
+	if segments > n {
+		segments = n
+	}
+	if segments <= 1 {
+		m, err := Build(cfg)
+		if err != nil {
+			return RunReport{}, err
+		}
+		return RunTrace(m, name, tr.Cursor(), uint64(n)), nil
+	}
+
+	// Segment k measures records [bounds[k], bounds[k+1]) after warming
+	// over [warm[k], bounds[k]).
+	bounds := make([]int, segments+1)
+	for k := 0; k <= segments; k++ {
+		bounds[k] = k * n / segments
+	}
+	warms := make([]int, segments)
+	for k := range warms {
+		if plan.Warmup < 0 {
+			warms[k] = 0 // exact: full prefix
+		} else if w := bounds[k] - plan.Warmup; w > 0 {
+			warms[k] = w
+		}
+	}
+	// Resolve every segment's packed start position in one forward
+	// pass; the warm starts are non-decreasing by construction.
+	var positions []trace.Pos
+	if tr.Records == nil {
+		positions = tr.Packed.Positions(warms)
+	}
+
+	results := make([]segmentResult, segments)
+	errs := make([]error, segments)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, plan.Workers)
+	for k := 0; k < segments; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var src trace.Source
+			total := bounds[k+1] - warms[k]
+			if tr.Records != nil {
+				sc := trace.NewSliceCursor(tr.Records[:n])
+				seg := sc.Segment(warms[k], total)
+				src = &seg
+			} else {
+				cur := tr.Packed.CursorAt(positions[k], total)
+				src = &cur
+			}
+			results[k], errs[k] = runSegment(cfg, src, bounds[k]-warms[k], bounds[k+1]-bounds[k], k == 0)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return RunReport{}, err
+		}
+	}
+
+	rep := RunReport{
+		Machine:  cfg.Name,
+		Workload: name,
+		Segments: segments,
+	}
+	for k := range results {
+		r := &results[k]
+		rep.CPU.Add(r.cpu)
+		addL2Stats(&rep.L2, r.l2)
+		addEnergy(&rep.Energy, r.energy)
+		rep.DRAMReads += r.dramR
+		rep.DRAMWrites += r.dramW
+		rep.History = append(rep.History, r.history...)
+		rep.FlushWritebacks += r.flush
+	}
+	last := &results[segments-1]
+	rep.L2InstalledBytes = last.installd
+	rep.L2PoweredBytes = last.powered
+	return rep, nil
+}
+
+// runSegment replays one segment on a fresh machine: warmLen records of
+// warmup, a boundary clock sync, then measureLen measured records. The
+// RunState is continuous across the boundary, so in full-prefix mode
+// the measured contribution is bit-identical to the serial run's over
+// the same range. first marks the stream-opening segment, whose
+// measured history must include the dynamic controller's
+// construction-time initial allocation (epoch 0) the way a serial
+// run's does; later segments correctly trim their own machines'
+// initial decisions as warmup artifacts.
+func runSegment(cfg config.Machine, src trace.Source, warmLen, measureLen int, first bool) (segmentResult, error) {
+	m, err := Build(cfg)
+	if err != nil {
+		return segmentResult{}, err
+	}
+	rs := m.CPU.NewRunState()
+	if warmLen > 0 {
+		m.CPU.RunFrom(rs, src, uint64(warmLen))
+		// Synchronize the leakage clocks so the warmup era's leakage is
+		// fully attributed before the `before` snapshot. The STT-RAM
+		// scan schedule is clock-driven, not call-driven, so this extra
+		// sync perturbs no integer counter.
+		m.Hier.Advance(m.CPU.Now())
+	}
+	beforeL2 := m.L2.Stats()
+	beforeEnergy := m.Hier.Energy()
+	beforeReads, beforeWrites := m.DRAM.Reads(), m.DRAM.Writes()
+	var beforeDecisions int
+	var beforeFlush uint64
+	if m.Dynamic != nil && !first {
+		beforeDecisions = len(m.Dynamic.History())
+		beforeFlush = m.Dynamic.FlushWritebacks()
+	}
+
+	measured := m.CPU.RunFrom(rs, src, uint64(measureLen))
+	m.CPU.Finish()
+
+	res := segmentResult{
+		cpu:      measured,
+		l2:       subL2Stats(m.L2.Stats(), beforeL2),
+		energy:   subEnergy(m.Hier.Energy(), beforeEnergy),
+		dramR:    m.DRAM.Reads() - beforeReads,
+		dramW:    m.DRAM.Writes() - beforeWrites,
+		powered:  m.L2.PoweredBytes(),
+		installd: m.L2.SizeBytes(),
+	}
+	if m.Dynamic != nil {
+		hist := m.Dynamic.History()
+		res.history = append([]core.PartitionDecision(nil), hist[beforeDecisions:]...)
+		res.flush = m.Dynamic.FlushWritebacks() - beforeFlush
+	}
+	return res, nil
+}
+
+// RunSegmentedWorkloadFrom is the store-aware segmented variant of
+// RunWorkloadFrom: the cell's trace comes from the shared arena and is
+// replayed in plan.Segments concurrent pieces. Segmented replay needs
+// the materialized trace for random access, so a nil store is an
+// error, not a generator fallback.
+func RunSegmentedWorkloadFrom(store *tracestore.Store, cfg config.Machine, prof workload.Profile, seed uint64, accesses int, plan SegmentPlan) (RunReport, error) {
+	if store == nil {
+		return RunReport{}, fmt.Errorf("sim: segmented replay needs a trace store")
+	}
+	if err := chaosEnter(cfg.Name, prof.Name, seed); err != nil {
+		return RunReport{}, err
+	}
+	tr, err := store.GetTrace(prof, seed, accesses)
+	if err != nil {
+		return RunReport{}, err
+	}
+	rep, err := RunSegmented(cfg, prof.Name, tr, accesses, plan)
+	if err != nil {
+		return RunReport{}, err
+	}
+	return auditExit(rep, nil)
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mobilecache/internal/config"
+	"mobilecache/internal/tracestore"
+)
+
+// MachineOrDie looks up a standard machine or fails the test.
+func MachineOrDie(t *testing.T, name string) config.Machine {
+	t.Helper()
+	cfg, err := MachineByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// relErrF is a local relative-error helper for float comparisons.
+func relErrF(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestRunFromSegmentComposition pins the core refactor contract: for
+// every standard machine, a replay split into arbitrary consecutive
+// RunFrom calls on one RunState (one Finish at the end) is bit-identical
+// — every counter, every float — to one uninterrupted Run.
+func TestRunFromSegmentComposition(t *testing.T) {
+	store := tracestore.New(0)
+	prof := smallProfile()
+	const total = 40_000
+	tr, err := store.GetTrace(prof, 11, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []uint64{1, 7, 997, 8192, 0} // 0 = run to exhaustion
+	for _, cfg := range StandardMachines() {
+		m1, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep1 := RunTrace(m1, prof.Name, tr.Cursor(), 0)
+
+		m2, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := tr.Cursor()
+		rs := m2.CPU.NewRunState()
+		for _, c := range chunks {
+			m2.CPU.RunFrom(rs, cur, c)
+		}
+		m2.CPU.Finish()
+
+		if !reflect.DeepEqual(rep1.CPU, rs.Result()) {
+			t.Fatalf("%s: composed CPU result diverges:\n serial   %+v\n composed %+v", cfg.Name, rep1.CPU, rs.Result())
+		}
+		if !reflect.DeepEqual(rep1.L2, m2.L2.Stats()) {
+			t.Fatalf("%s: composed L2 stats diverge", cfg.Name)
+		}
+		if !reflect.DeepEqual(rep1.Energy, m2.Hier.Energy()) {
+			t.Fatalf("%s: composed energy diverges:\n serial   %+v\n composed %+v", cfg.Name, rep1.Energy, m2.Hier.Energy())
+		}
+		if rep1.DRAMReads != m2.DRAM.Reads() || rep1.DRAMWrites != m2.DRAM.Writes() {
+			t.Fatalf("%s: composed DRAM traffic diverges", cfg.Name)
+		}
+		if rep1.L2PoweredBytes != m2.L2.PoweredBytes() {
+			t.Fatalf("%s: composed powered bytes diverge", cfg.Name)
+		}
+		if m1.Dynamic != nil {
+			if !reflect.DeepEqual(m1.Dynamic.History(), m2.Dynamic.History()) {
+				t.Fatalf("%s: composed partition history diverges", cfg.Name)
+			}
+		}
+	}
+}
+
+// snapRun captures the comparable outcome of a finished replay.
+type snapRun struct {
+	cpu     interface{}
+	l2      interface{}
+	energy  interface{}
+	reads   uint64
+	writes  uint64
+	powered uint64
+}
+
+func snapOf(m *Machine, cpuRes interface{}) snapRun {
+	return snapRun{
+		cpu: cpuRes, l2: m.L2.Stats(), energy: m.Hier.Energy(),
+		reads: m.DRAM.Reads(), writes: m.DRAM.Writes(), powered: m.L2.PoweredBytes(),
+	}
+}
+
+// TestSnapshotRestoreContinue pins the snapshot contract: interrupting
+// a replay with Snapshot, continuing to the end, then rewinding with
+// Restore and replaying the identical tail again reproduces the same
+// outcome bit-for-bit — and both match the uninterrupted run.
+func TestSnapshotRestoreContinue(t *testing.T) {
+	store := tracestore.New(0)
+	prof := smallProfile()
+	const total = 40_000
+	const cut = 17_500
+	tr, err := store.GetTrace(prof, 23, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve the packed-stream position of the cut once; the restored
+	// replay resumes its own fresh cursor there.
+	tailPos := tr.Packed.Positions([]int{cut})[0]
+
+	for _, name := range StandardMachineNames() {
+		cfg, err := MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := tr.Packed.Cursor()
+		rep := RunTrace(m1, prof.Name, &c1, 0)
+
+		m2, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := tr.Packed.Cursor()
+		rs := m2.CPU.NewRunState()
+		m2.CPU.RunFrom(rs, &cur, cut)
+
+		snap := m2.Snapshot()
+		rsSnap := *rs // RunState is a plain value: copy = snapshot
+
+		// First continuation, through to the end.
+		m2.CPU.RunFrom(rs, &cur, 0)
+		m2.CPU.Finish()
+		first := snapOf(m2, rs.Result())
+
+		if !reflect.DeepEqual(rep.CPU, rs.Result()) {
+			t.Fatalf("%s: interrupted replay CPU diverges from uninterrupted:\n uninterrupted %+v\n interrupted   %+v", name, rep.CPU, rs.Result())
+		}
+		if !reflect.DeepEqual(rep.Energy, first.energy) {
+			t.Fatalf("%s: interrupted replay energy diverges from uninterrupted", name)
+		}
+
+		// Rewind and replay the identical tail from a fresh cursor.
+		m2.Restore(snap)
+		rs2 := rsSnap
+		tail := tr.Packed.CursorAt(tailPos, -1)
+		m2.CPU.RunFrom(&rs2, &tail, 0)
+		m2.CPU.Finish()
+		second := snapOf(m2, rs2.Result())
+
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("%s: restored tail replay diverges from first continuation:\n first  %+v\n second %+v", name, first, second)
+		}
+	}
+}
+
+// TestRunSegmentedExactMatchesSerial pins the oracle mode: segmented
+// replay with full-prefix warmup stitches to the serial run's exact
+// integer counters on every standard machine, with energy agreeing to
+// float association order.
+func TestRunSegmentedExactMatchesSerial(t *testing.T) {
+	store := tracestore.New(0)
+	prof := smallProfile()
+	const total = 40_000
+	tr, err := store.GetTrace(prof, 7, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := SegmentPlan{Segments: 4, Warmup: -1, Workers: 2}
+	for _, cfg := range StandardMachines() {
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := RunTrace(m, prof.Name, tr.Cursor(), 0)
+
+		seg, err := RunSegmented(cfg, prof.Name, tr, total, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Segments != 4 {
+			t.Fatalf("%s: report marks %d segments", cfg.Name, seg.Segments)
+		}
+		if !reflect.DeepEqual(serial.CPU, seg.CPU) {
+			t.Fatalf("%s: exact segmented CPU diverges:\n serial    %+v\n segmented %+v", cfg.Name, serial.CPU, seg.CPU)
+		}
+		if !reflect.DeepEqual(serial.L2, seg.L2) {
+			t.Fatalf("%s: exact segmented L2 stats diverge:\n serial    %+v\n segmented %+v", cfg.Name, serial.L2, seg.L2)
+		}
+		if serial.DRAMReads != seg.DRAMReads || serial.DRAMWrites != seg.DRAMWrites {
+			t.Fatalf("%s: exact segmented DRAM traffic diverges", cfg.Name)
+		}
+		if serial.L2PoweredBytes != seg.L2PoweredBytes || serial.L2InstalledBytes != seg.L2InstalledBytes {
+			t.Fatalf("%s: exact segmented capacity snapshot diverges", cfg.Name)
+		}
+		if !reflect.DeepEqual(serial.History, seg.History) {
+			t.Fatalf("%s: exact segmented partition history diverges", cfg.Name)
+		}
+		if serial.FlushWritebacks != seg.FlushWritebacks {
+			t.Fatalf("%s: exact segmented flush writebacks diverge", cfg.Name)
+		}
+		// Energy tolerance: the boundary leakage sync splits an
+		// integration interval, which is pure float association for
+		// every machine except the drowsy baseline, whose controller
+		// demotes idle lines at sync granularity — the extra sync
+		// legitimately shifts demotion instants (RunWarm shares this
+		// property). Integer counters are exact everywhere regardless.
+		tol := 1e-9
+		if cfg.Scheme == config.SchemeDrowsy {
+			tol = 2e-3
+		}
+		if e := relErrF(seg.L2EnergyJ(), serial.L2EnergyJ()); e > tol {
+			t.Fatalf("%s: exact segmented L2 energy off by %.3g rel", cfg.Name, e)
+		}
+		if e := relErrF(seg.Energy.DRAMJ, serial.Energy.DRAMJ); e > 1e-9 {
+			t.Fatalf("%s: exact segmented DRAM energy off by %.3g rel", cfg.Name, e)
+		}
+	}
+}
+
+// TestRunSegmentedExactPackedTier repeats the oracle check on the
+// packed-only tier (budget 1 demotes the hot decoded form), so the
+// CursorAt/Positions resume path is the one under test.
+func TestRunSegmentedExactPackedTier(t *testing.T) {
+	store := tracestore.New(1)
+	prof := smallProfile()
+	const total = 30_000
+	tr, err := store.GetTrace(prof, 7, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records != nil {
+		t.Fatal("budget-1 store kept the hot tier; test needs packed-only")
+	}
+	plan := SegmentPlan{Segments: 3, Warmup: -1, Workers: 3}
+	for _, name := range []string{"baseline-sram", "sp-mr", "dp-sr"} {
+		cfg, err := MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := RunTrace(m, prof.Name, tr.Cursor(), 0)
+		seg, err := RunSegmented(cfg, prof.Name, tr, total, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.CPU, seg.CPU) || !reflect.DeepEqual(serial.L2, seg.L2) {
+			t.Fatalf("%s: packed-tier exact segmented replay diverges", name)
+		}
+	}
+}
+
+// TestRunSegmentedApproxBounded checks the fast path's stitching error:
+// with the default warmup prefix and sweep-scale segment lengths the
+// stitched miss rate and L2 energy stay within the documented 2% bound
+// of the serial run. The bound holds when segments are several times
+// the warmup prefix (the cold-boundary error amortizes as warmup /
+// segment length — see DESIGN.md); deliberately short segments can
+// exceed it, which is what ValidateSegmented exists to audit.
+func TestRunSegmentedApproxBounded(t *testing.T) {
+	store := tracestore.New(0)
+	prof := smallProfile()
+	const total = 240_000
+	tr, err := store.GetTrace(prof, 31, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unified/static designs meet the bound at the default warmup;
+	// the dynamic design needs a longer prefix because its repartition
+	// epochs are phase-shifted at segment boundaries and the controller
+	// re-converges over ~2 epochs of L2 accesses (the DESIGN.md error
+	// model) — ValidateSegmented is the harness that audits whichever
+	// setting a sweep actually uses.
+	cases := []struct {
+		name string
+		plan SegmentPlan
+	}{
+		{"baseline-sram", SegmentPlan{Segments: 4}}, // Norm fills Warmup + Workers
+		{"baseline-stt", SegmentPlan{Segments: 4}},
+		{"dp", SegmentPlan{Segments: 4, Warmup: 131_072}},
+	}
+	for _, tc := range cases {
+		name, plan := tc.name, tc.plan
+		cfg, err := MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := RunTrace(m, prof.Name, tr.Cursor(), 0)
+		seg, err := RunSegmented(cfg, prof.Name, tr, total, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.CPU.Accesses != serial.CPU.Accesses {
+			t.Fatalf("%s: segmented replay covered %d accesses, serial %d", name, seg.CPU.Accesses, serial.CPU.Accesses)
+		}
+		serialMiss := float64(serial.L2.TotalMisses()) / float64(serial.L2.TotalAccesses())
+		segMiss := float64(seg.L2.TotalMisses()) / float64(seg.L2.TotalAccesses())
+		if e := relErrF(segMiss, serialMiss); e > 0.02 {
+			t.Fatalf("%s: stitched miss rate off by %.2f%% (serial %.4f, segmented %.4f)", name, e*100, serialMiss, segMiss)
+		}
+		if e := relErrF(seg.L2EnergyJ(), serial.L2EnergyJ()); e > 0.02 {
+			t.Fatalf("%s: stitched L2 energy off by %.2f%%", name, e*100)
+		}
+	}
+}
+
+// TestRunSegmentedValidation covers the plan's error paths.
+func TestRunSegmentedValidation(t *testing.T) {
+	if err := (SegmentPlan{Segments: 0}).Validate(); err == nil {
+		t.Fatal("zero-segment plan validated")
+	}
+	if _, err := RunSegmented(MachineOrDie(t, "baseline-sram"), "x", tracestore.Trace{}, 0, SegmentPlan{Segments: 2}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := RunSegmentedWorkloadFrom(nil, MachineOrDie(t, "baseline-sram"), smallProfile(), 1, 1000, SegmentPlan{Segments: 2}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}

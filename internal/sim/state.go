@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"mobilecache/internal/cpu"
+	"mobilecache/internal/mem"
+)
+
+// SimState is a complete, self-contained snapshot of a machine's
+// mutable simulation state: the CPU clock and the full memory
+// hierarchy (both L1s, the L2 organization, DRAM, and every energy
+// meter). It deliberately does NOT capture:
+//
+//   - the replay position — that lives in the trace cursor
+//     (trace.Cursor.Pos) and the cpu.RunState the caller threads
+//     through RunFrom, both of which are owned by the replay driver,
+//     not the machine;
+//   - configuration — a snapshot may only be restored into a machine
+//     built from the identical config (geometry mismatches panic);
+//   - scratch buffers — the CPU's staging arrays hold no state between
+//     batches.
+//
+// Determinism contract: restoring a SimState into an identically
+// configured machine and replaying the same record range with the same
+// RunState reproduces the original run bit-identically — every integer
+// counter, every float energy term, every partition decision. This
+// holds because the simulator has no hidden stochastic state: the
+// STT-RAM fault and jitter draws are pure functions of (seed, set,
+// way, write time), so they replay rather than resample.
+type SimState struct {
+	CPU  cpu.State
+	Hier *mem.HierState
+}
+
+// Snapshot captures the machine's complete mutable simulation state.
+// The snapshot is an independent deep copy: the machine may keep
+// running (and the snapshot restored repeatedly) without aliasing.
+func (m *Machine) Snapshot() SimState {
+	return SimState{CPU: m.CPU.Snapshot(), Hier: m.Hier.Snapshot()}
+}
+
+// Restore rewinds the machine to a snapshot taken from an identically
+// configured machine. State is copied in, so one snapshot can seed any
+// number of divergent replays.
+func (m *Machine) Restore(s SimState) {
+	m.CPU.Restore(s.CPU)
+	m.Hier.Restore(s.Hier)
+}

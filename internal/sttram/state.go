@@ -1,0 +1,27 @@
+package sttram
+
+// ControllerState is a copyable snapshot of a Controller's mutable
+// state: the refresh-scan clock and the activity counters. Everything
+// else the controller consults — retention, policy, jitter, the
+// refresh-limit cap and the fault-injection configuration — is fixed at
+// construction/configuration time, and the stochastic draws themselves
+// (jitter derating, fault flips) are pure functions of that
+// configuration plus each line's (set, way, WrittenAt), so no RNG
+// stream exists to capture: restoring the cache array restores the
+// fault behavior exactly.
+type ControllerState struct {
+	nextScan uint64
+	stats    Stats
+}
+
+// Snapshot captures the controller's complete mutable state.
+func (ct *Controller) Snapshot() ControllerState {
+	return ControllerState{nextScan: ct.nextScan, stats: ct.stats}
+}
+
+// Restore rewinds the controller to a snapshot. ControllerState is a
+// pure value, so the same state may be restored repeatedly.
+func (ct *Controller) Restore(s ControllerState) {
+	ct.nextScan = s.nextScan
+	ct.stats = s.stats
+}

@@ -171,26 +171,31 @@ type Cursor struct {
 	gapPos   int
 	prevAddr uint64
 	prevPC   uint64
+
+	// start/end bound the cursor to a segment of the trace: records
+	// start.I .. end-1. Packed.Cursor spans the whole trace;
+	// Packed.CursorAt (segment.go) builds narrower views. The zero
+	// Cursor has end 0 and is exhausted, matching its documented
+	// empty-trace behavior.
+	start Pos
+	end   int
 }
 
 // Cursor returns a fresh replay cursor positioned at the first record.
-func (p *Packed) Cursor() Cursor { return Cursor{p: p} }
+func (p *Packed) Cursor() Cursor { return Cursor{p: p, end: p.n} }
 
-// Len reports the total number of records in the underlying trace.
-func (c *Cursor) Len() int {
-	if c.p == nil {
-		return 0
-	}
-	return c.p.n
-}
+// Len reports the number of records in the cursor's view — the whole
+// trace for Packed.Cursor, the segment length for Packed.CursorAt.
+func (c *Cursor) Len() int { return c.end - c.start.I }
 
 // Remaining reports how many records are left to replay.
-func (c *Cursor) Remaining() int { return c.Len() - c.i }
+func (c *Cursor) Remaining() int { return c.end - c.i }
 
-// Reset rewinds the cursor to the beginning of the trace.
+// Reset rewinds the cursor to the beginning of its view (the start of
+// the trace, or the segment start for a CursorAt view).
 func (c *Cursor) Reset() {
-	p := c.p
-	*c = Cursor{p: p}
+	c.i, c.addrPos, c.pcPos, c.gapPos = c.start.I, c.start.AddrPos, c.start.PCPos, c.start.GapPos
+	c.prevAddr, c.prevPC = c.start.PrevAddr, c.start.PrevPC
 }
 
 // uvarintAt decodes one unsigned varint of b starting at pos. It is the
@@ -254,7 +259,7 @@ func (c *Cursor) Decode(dst []Access) int {
 	if p == nil {
 		return 0
 	}
-	n := p.n - c.i
+	n := c.end - c.i
 	if n <= 0 {
 		return 0
 	}
@@ -313,7 +318,7 @@ func (c *Cursor) Decode(dst []Access) int {
 
 // Next decodes the next record. It performs no allocation.
 func (c *Cursor) Next() (Access, bool) {
-	if c.p == nil || c.i >= c.p.n {
+	if c.p == nil || c.i >= c.end {
 		return Access{}, false
 	}
 	da, addrPos := uvarintAt(c.p.addr, c.addrPos)

@@ -1,0 +1,126 @@
+package trace
+
+// This file implements offset-addressable segment views over packed and
+// sliced traces. The packed streams are delta-coded, so a record's
+// absolute position is the pair (varint byte offsets, running delta
+// predecessors); Pos captures exactly that, letting a replay resume —
+// or a segment view begin — at any record index without re-decoding the
+// prefix. sim.RunSegmented splits one long trace at phase boundaries
+// this way: Positions walks the streams once, and each segment then
+// replays its own bounded CursorAt view concurrently.
+
+// Pos is an absolute replay position inside a Packed trace: the record
+// index, the byte offset of that record's varint in each delta stream,
+// and the running predecessors the deltas apply to. A Pos is only
+// meaningful for the Packed it was derived from (via Cursor.Pos or
+// Packed.Positions); the zero Pos addresses the first record.
+type Pos struct {
+	I       int
+	AddrPos int
+	PCPos   int
+	GapPos  int
+
+	PrevAddr uint64
+	PrevPC   uint64
+}
+
+// Pos captures the cursor's current absolute position. Resuming a fresh
+// cursor there with CursorAt replays exactly the records this cursor
+// has not yet produced.
+func (c *Cursor) Pos() Pos {
+	return Pos{
+		I: c.i, AddrPos: c.addrPos, PCPos: c.pcPos, GapPos: c.gapPos,
+		PrevAddr: c.prevAddr, PrevPC: c.prevPC,
+	}
+}
+
+// CursorAt returns a cursor view over the n records starting at pos
+// (n < 0 means through the end of the trace). The view's Len, Remaining,
+// Reset and end-of-trace are all relative to the segment: it decodes
+// records pos.I .. pos.I+n-1 and then reports exhaustion, and Reset
+// rewinds to pos, not to the start of the trace. pos must have been
+// produced by Cursor.Pos or Packed.Positions on this same trace.
+func (p *Packed) CursorAt(pos Pos, n int) Cursor {
+	end := p.n
+	if n >= 0 && pos.I+n < end {
+		end = pos.I + n
+	}
+	return Cursor{
+		p: p,
+		i: pos.I, addrPos: pos.AddrPos, pcPos: pos.PCPos, gapPos: pos.GapPos,
+		prevAddr: pos.PrevAddr, prevPC: pos.PrevPC,
+		start: pos, end: end,
+	}
+}
+
+// Skip advances the cursor past up to n records without materializing
+// them, reporting how many were skipped (less than n only at end of
+// segment). It decodes just the varint lengths and delta sums — no
+// Access construction — so seeking to a segment boundary costs a
+// fraction of a full decode.
+func (c *Cursor) Skip(n int) int {
+	p := c.p
+	if p == nil || n <= 0 {
+		return 0
+	}
+	if rem := c.end - c.i; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return 0
+	}
+	addrS, pcS, gapS := p.addr, p.pc, p.gap
+	addrPos, pcPos, gapPos := c.addrPos, c.pcPos, c.gapPos
+	prevAddr, prevPC := c.prevAddr, c.prevPC
+	for k := 0; k < n; k++ {
+		da, ap := uvarintAt(addrS, addrPos)
+		dp, pp := uvarintAt(pcS, pcPos)
+		_, gp := uvarintAt(gapS, gapPos)
+		addrPos, pcPos, gapPos = ap, pp, gp
+		prevAddr += uint64(unzigzag(da))
+		prevPC += uint64(unzigzag(dp))
+	}
+	c.addrPos, c.pcPos, c.gapPos = addrPos, pcPos, gapPos
+	c.prevAddr, c.prevPC = prevAddr, prevPC
+	c.i += n
+	return n
+}
+
+// Positions resolves record offsets into absolute positions in one
+// forward pass over the streams. Offsets must be non-decreasing and
+// within [0, Len()]; the returned slice is parallel to offsets. This is
+// how a segmented run plans its boundaries: one O(Len) walk, then every
+// segment starts decoding at its own Pos with no prefix work.
+func (p *Packed) Positions(offsets []int) []Pos {
+	out := make([]Pos, len(offsets))
+	c := p.Cursor()
+	for k, off := range offsets {
+		if off < c.i {
+			panic("trace: Positions offsets must be non-decreasing")
+		}
+		if off > p.n {
+			panic("trace: Positions offset past end of trace")
+		}
+		c.Skip(off - c.i)
+		out[k] = c.Pos()
+	}
+	return out
+}
+
+// Segment returns a cursor view over the n records starting at record
+// index start (n < 0 means through the end). It is the SliceCursor twin
+// of Packed.CursorAt: Len, Remaining and Reset are relative to the
+// segment, and Batch never crosses its end.
+func (c *SliceCursor) Segment(start, n int) SliceCursor {
+	if start < 0 {
+		start = 0
+	}
+	if start > len(c.recs) {
+		start = len(c.recs)
+	}
+	end := len(c.recs)
+	if n >= 0 && start+n < end {
+		end = start + n
+	}
+	return SliceCursor{recs: c.recs[start:end:end]}
+}

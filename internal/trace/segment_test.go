@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCursorDecodePartialFinalFrame pins the bulk decoder's behavior
+// when the last batch is smaller than the destination buffer: the final
+// Decode must report exactly the leftover count, fill only that prefix,
+// and the next Decode must report 0.
+func TestCursorDecodePartialFinalFrame(t *testing.T) {
+	recs := synthAccesses(1000)
+	p := PackSlice(recs)
+	cur := p.Cursor()
+	buf := make([]Access, 256)
+	var got []Access
+	for {
+		n := cur.Decode(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	// 1000 = 3*256 + 232: the final frame is partial.
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("decoded records differ from source")
+	}
+	if n := cur.Decode(buf); n != 0 {
+		t.Fatalf("Decode after exhaustion = %d, want 0", n)
+	}
+}
+
+// TestCursorRemainingAfterPartialDecode checks Remaining stays exact
+// through a mix of partial Decode and single-record Next calls.
+func TestCursorRemainingAfterPartialDecode(t *testing.T) {
+	recs := synthAccesses(500)
+	p := PackSlice(recs)
+	cur := p.Cursor()
+	buf := make([]Access, 137)
+	if n := cur.Decode(buf); n != 137 {
+		t.Fatalf("first Decode = %d, want 137", n)
+	}
+	if cur.Remaining() != 500-137 {
+		t.Fatalf("Remaining after partial decode = %d, want %d", cur.Remaining(), 500-137)
+	}
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("Next failed mid-trace")
+	}
+	if cur.Remaining() != 500-138 {
+		t.Fatalf("Remaining after Next = %d, want %d", cur.Remaining(), 500-138)
+	}
+	// Drain: the leftover count must be exactly Remaining.
+	total := 138
+	for {
+		n := cur.Decode(buf)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("drained %d records, want 500", total)
+	}
+}
+
+// TestCursorResetMidFrame resets in the middle of a decoded frame and
+// requires the replay to restart from the view's first record with all
+// delta predecessors rewound.
+func TestCursorResetMidFrame(t *testing.T) {
+	recs := synthAccesses(300)
+	p := PackSlice(recs)
+	cur := p.Cursor()
+	buf := make([]Access, 128)
+	cur.Decode(buf)
+	cur.Decode(buf[:70]) // stop mid-trace, mid-"frame"
+	cur.Reset()
+	if cur.Remaining() != 300 {
+		t.Fatalf("Remaining after Reset = %d, want 300", cur.Remaining())
+	}
+	got := Collect(&cur, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("replay after mid-frame Reset differs from source")
+	}
+}
+
+// segmentRecs builds a mix whose deltas force multi-byte varint groups
+// everywhere (large user<->kernel swings), so segment boundaries land
+// inside multi-byte varints by construction.
+func segmentRecs(n int) []Access {
+	recs := synthAccesses(n)
+	for i := range recs {
+		if i%2 == 1 {
+			recs[i].Addr += 1 << 40 // guarantee >4-byte address deltas
+		}
+	}
+	return recs
+}
+
+// TestSegmentViewBoundaries splits a packed trace at every alignment
+// class relative to the varint groups and checks each segment replays
+// exactly its slice of the source — including boundaries that land
+// inside multi-byte varint groups.
+func TestSegmentViewBoundaries(t *testing.T) {
+	recs := segmentRecs(512)
+	p := PackSlice(recs)
+	for _, bounds := range [][]int{
+		{0, 1, 2, 3},            // boundaries inside the first varint groups
+		{0, 171, 342},           // odd splits: starts inside multi-byte groups
+		{0, 255, 256, 257, 511}, // around the bulk-decode frame size
+		{0, 512},                // a zero-length tail segment
+	} {
+		pos := p.Positions(bounds)
+		for k, start := range bounds {
+			end := len(recs)
+			n := -1
+			if k+1 < len(bounds) {
+				end = bounds[k+1]
+				n = end - start
+			}
+			seg := p.CursorAt(pos[k], n)
+			if seg.Len() != end-start {
+				t.Fatalf("segment [%d:%d) Len = %d", start, end, seg.Len())
+			}
+			got := Collect(&seg, 0)
+			want := recs[start:end]
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("segment [%d:%d) replay differs from source slice", start, end)
+			}
+		}
+	}
+}
+
+// TestSegmentViewDecodeAndReset checks a segment view's bulk decoder
+// stops at the segment end (never crossing into the next segment) and
+// that Reset rewinds to the segment start, not the trace start.
+func TestSegmentViewDecodeAndReset(t *testing.T) {
+	recs := segmentRecs(400)
+	p := PackSlice(recs)
+	pos := p.Positions([]int{100})
+	seg := p.CursorAt(pos[0], 150)
+
+	buf := make([]Access, 256) // larger than the segment
+	if n := seg.Decode(buf); n != 150 {
+		t.Fatalf("segment Decode = %d, want 150 (must stop at segment end)", n)
+	}
+	if !reflect.DeepEqual(buf[:150], recs[100:250]) {
+		t.Fatal("segment bulk decode differs from source slice")
+	}
+	if n := seg.Decode(buf); n != 0 {
+		t.Fatalf("Decode past segment end = %d, want 0", n)
+	}
+
+	seg.Reset()
+	if seg.Remaining() != 150 {
+		t.Fatalf("Remaining after segment Reset = %d, want 150", seg.Remaining())
+	}
+	got, ok := seg.Next()
+	if !ok || got != recs[100] {
+		t.Fatalf("first record after segment Reset = %+v, want %+v", got, recs[100])
+	}
+}
+
+// TestCursorSkip checks Skip advances the delta predecessors exactly as
+// a materializing decode would, and clamps at end of view.
+func TestCursorSkip(t *testing.T) {
+	recs := segmentRecs(300)
+	p := PackSlice(recs)
+	cur := p.Cursor()
+	if n := cur.Skip(123); n != 123 {
+		t.Fatalf("Skip = %d, want 123", n)
+	}
+	got, ok := cur.Next()
+	if !ok || got != recs[123] {
+		t.Fatalf("record after Skip(123) = %+v, want %+v", got, recs[123])
+	}
+	if n := cur.Skip(1 << 20); n != 300-124 {
+		t.Fatalf("clamped Skip = %d, want %d", n, 300-124)
+	}
+	if _, ok := cur.Next(); ok {
+		t.Fatal("cursor yields records past the end after Skip")
+	}
+	if n := cur.Skip(1); n != 0 {
+		t.Fatalf("Skip at end = %d, want 0", n)
+	}
+}
+
+// TestPositionsRoundTrip cross-checks Positions against a cursor walked
+// with interleaved Next/Decode calls: the Pos captured mid-walk must
+// resume the identical suffix.
+func TestPositionsRoundTrip(t *testing.T) {
+	recs := segmentRecs(256)
+	p := PackSlice(recs)
+	cur := p.Cursor()
+	buf := make([]Access, 97)
+	cur.Decode(buf)
+	cur.Next()
+	pos := cur.Pos()
+	if pos.I != 98 {
+		t.Fatalf("Pos.I = %d, want 98", pos.I)
+	}
+	resumed := p.CursorAt(pos, -1)
+	got := Collect(&resumed, 0)
+	if !reflect.DeepEqual(got, recs[98:]) {
+		t.Fatal("CursorAt(Pos) suffix differs from uninterrupted replay")
+	}
+	// The same boundary via Positions.
+	viaPositions := p.Positions([]int{98})[0]
+	if viaPositions != pos {
+		t.Fatalf("Positions Pos %+v != walked Pos %+v", viaPositions, pos)
+	}
+}
+
+// TestSliceCursorSegment checks the hot-tier twin: sub-range views with
+// relative Len/Remaining/Reset and Batch clipped to the segment.
+func TestSliceCursorSegment(t *testing.T) {
+	recs := synthAccesses(100)
+	full := NewSliceCursor(recs)
+	seg := full.Segment(30, 40)
+	if seg.Len() != 40 {
+		t.Fatalf("segment Len = %d, want 40", seg.Len())
+	}
+	b := seg.Batch(1000)
+	if len(b) != 40 || !reflect.DeepEqual(b, recs[30:70]) {
+		t.Fatalf("segment Batch returned %d records, want the [30:70) slice", len(b))
+	}
+	if seg.Batch(1) != nil {
+		t.Fatal("Batch past segment end is non-nil")
+	}
+	seg.Reset()
+	got, ok := seg.Next()
+	if !ok || got != recs[30] {
+		t.Fatalf("first record after segment Reset = %+v, want %+v", got, recs[30])
+	}
+	// Tail segment via n < 0, and clamping past the end.
+	tail := full.Segment(90, -1)
+	if tail.Len() != 10 {
+		t.Fatalf("tail Len = %d, want 10", tail.Len())
+	}
+	if over := full.Segment(200, 5); over.Len() != 0 {
+		t.Fatalf("past-end segment Len = %d, want 0", over.Len())
+	}
+}

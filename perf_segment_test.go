@@ -1,0 +1,222 @@
+// Performance and accuracy contract of segmented intra-cell replay
+// (internal/sim.RunSegmented behind engine.ExecOptions.SegmentWorkers).
+// Three claims are checked and recorded in BENCH_PR9.json:
+//
+//  1. the exact replay hot path (with the frame-precompute stage) still
+//     runs at the recorded ns/access with zero allocations per access
+//     (shares benchReplay with BENCH_PR4.json),
+//  2. splitting one long cell into 4 segments and replaying them
+//     concurrently scales wall clock with the worker count (the file
+//     records GOMAXPROCS — on a single-core host the speedup is ~1x by
+//     construction and the recorded numbers say so honestly), and
+//  3. the stitched estimate's error against the serial ground truth
+//     stays within 2% on L2 miss rate and L2 energy at the warmup each
+//     design is documented to need (DESIGN.md, "Segmented replay and
+//     the stitching error model").
+//
+// Regenerate the JSON with
+//
+//	make bench-replay    # = MC_BENCH_JSON=1 go test -run 'TestEmitBenchJSONPR9$' -count=1 -v .
+//
+// EXPERIMENTS.md documents the methodology and the recorded numbers.
+package mobilecache
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mobilecache/internal/sim"
+	"mobilecache/internal/tracestore"
+	"mobilecache/internal/workload"
+)
+
+// segmentWallRow is one worker-count timing of the segmented cell.
+type segmentWallRow struct {
+	Workers         int     `json:"workers"`
+	Seconds         float64 `json:"seconds"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// segmentErrRow is one machine's audited stitch error at the warmup the
+// error model prescribes for it.
+type segmentErrRow struct {
+	Machine        string  `json:"machine"`
+	Warmup         int     `json:"warmup_records"`
+	MissRateRelErr float64 `json:"miss_rate_rel_err"`
+	EnergyRelErr   float64 `json:"l2_energy_rel_err"`
+}
+
+// segmentBenchReport is the BENCH_PR9.json schema.
+type segmentBenchReport struct {
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NsPerAccess float64 `json:"replay_ns_per_access"`
+	AllocsPerOp int64   `json:"replay_allocs_per_access"`
+
+	Cell          string           `json:"cell"`
+	CellAccesses  int              `json:"cell_accesses"`
+	Segments      int              `json:"segments"`
+	SerialSeconds float64          `json:"serial_seconds"`
+	Walls         []segmentWallRow `json:"segmented"`
+
+	StitchTolerance float64         `json:"stitch_tolerance"`
+	StitchAccesses  int             `json:"stitch_accesses"`
+	StitchErrors    []segmentErrRow `json:"stitch_errors"`
+}
+
+func segRelErr(exact, approx float64) float64 {
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(approx-exact) / math.Abs(exact)
+}
+
+// TestEmitBenchJSONPR9 records the segmented-replay PR's performance
+// and accuracy evidence. Like the other emitters it is a measurement,
+// not a machine-speed gate, so it only runs when explicitly requested —
+// but the stitch-error rows it records are gated hard at the documented
+// 2% bound: an error-model regression fails the run.
+//
+//	MC_BENCH_JSON=1 go test -run 'TestEmitBenchJSONPR9$' -count=1 -v .
+func TestEmitBenchJSONPR9(t *testing.T) {
+	if os.Getenv("MC_BENCH_JSON") == "" {
+		t.Skip("set MC_BENCH_JSON=1 to measure and write BENCH_PR9.json")
+	}
+
+	r := testing.Benchmark(benchReplay)
+	rep := segmentBenchReport{
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NsPerAccess:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:     r.AllocsPerOp(),
+		Cell:            "baseline-sram / " + workload.Profiles()[0].Name,
+		CellAccesses:    600_000,
+		Segments:        4,
+		StitchTolerance: 0.02,
+		StitchAccesses:  240_000,
+	}
+
+	store := tracestore.New(0)
+	prof := workload.Profiles()[0]
+	cfg, err := sim.MachineByName("baseline-sram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := store.GetTrace(prof, 1, rep.CellAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wall-clock scaling of one long cell. Serial arm is the ordinary
+	// replay; segmented arms fix Segments=4 and vary only Workers, so
+	// every arm does identical simulation work (same warmup prefixes)
+	// and the rows isolate pure concurrency. Best of three interleaved
+	// rounds per arm, as in the other emitters.
+	workerCounts := []int{1, 2, 4}
+	serial := time.Duration(1 << 62)
+	walls := map[int]time.Duration{}
+	for _, w := range workerCounts {
+		walls[w] = time.Duration(1 << 62)
+	}
+	for round := 0; round < 3; round++ {
+		m, err := sim.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := tr.Packed.Cursor()
+		start := time.Now()
+		sim.RunTrace(m, prof.Name, &cur, uint64(rep.CellAccesses))
+		if d := time.Since(start); d < serial {
+			serial = d
+		}
+		for _, w := range workerCounts {
+			plan := sim.SegmentPlan{Segments: rep.Segments, Workers: w}
+			start := time.Now()
+			if _, err := sim.RunSegmented(cfg, prof.Name, tr, rep.CellAccesses, plan); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < walls[w] {
+				walls[w] = d
+			}
+		}
+	}
+	rep.SerialSeconds = serial.Seconds()
+	for _, w := range workerCounts {
+		rep.Walls = append(rep.Walls, segmentWallRow{
+			Workers:         w,
+			Seconds:         walls[w].Seconds(),
+			SpeedupVsSerial: serial.Seconds() / walls[w].Seconds(),
+		})
+	}
+
+	// Stitch-error audit: serial ground truth vs the stitched estimate,
+	// per machine at the warmup DESIGN.md prescribes. The browser
+	// profile's working set is larger than the sim suite's mini profile,
+	// so all three rows need the doubled 131072-record prefix (measured
+	// knee: 65536 -> 7.96% miss error, 131072 -> 0.88% on baseline-sram
+	// at this trace length); dp needs the same length for a different
+	// reason — its repartition controller re-converges over ~2 epochs.
+	stitchCases := []struct {
+		machine string
+		warmup  int
+	}{
+		{"baseline-sram", 131_072},
+		{"baseline-stt", 131_072},
+		{"dp", 131_072},
+	}
+	trErr, err := store.GetTrace(prof, 1, rep.StitchAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range stitchCases {
+		mcfg, err := sim.MachineByName(c.machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Build(mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := trErr.Packed.Cursor()
+		exact := sim.RunTrace(m, prof.Name, &cur, uint64(rep.StitchAccesses))
+		plan := sim.SegmentPlan{Segments: rep.Segments, Warmup: c.warmup}
+		seg, err := sim.RunSegmented(mcfg, prof.Name, trErr, rep.StitchAccesses, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := segmentErrRow{
+			Machine:        c.machine,
+			Warmup:         plan.Norm().Warmup,
+			MissRateRelErr: segRelErr(exact.L2.MissRate(), seg.L2.MissRate()),
+			EnergyRelErr:   segRelErr(exact.L2EnergyJ(), seg.L2EnergyJ()),
+		}
+		rep.StitchErrors = append(rep.StitchErrors, row)
+		if row.MissRateRelErr > rep.StitchTolerance || row.EnergyRelErr > rep.StitchTolerance {
+			t.Errorf("%s stitch error breaches %.0f%%: miss %.2f%%, energy %.2f%%",
+				c.machine, 100*rep.StitchTolerance, 100*row.MissRateRelErr, 100*row.EnergyRelErr)
+		}
+	}
+
+	t.Logf("replay: %.1f ns/access, %d allocs/access", rep.NsPerAccess, rep.AllocsPerOp)
+	t.Logf("segmented cell: serial %.3fs; workers 1/2/4: %.3fs / %.3fs / %.3fs (GOMAXPROCS=%d)",
+		rep.SerialSeconds, walls[1].Seconds(), walls[2].Seconds(), walls[4].Seconds(), rep.GOMAXPROCS)
+	for _, row := range rep.StitchErrors {
+		t.Logf("stitch %s (warmup %d): miss err %.3f%%, energy err %.3f%%",
+			row.Machine, row.Warmup, 100*row.MissRateRelErr, 100*row.EnergyRelErr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR9.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
