@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 bench-replay serve-smoke torture clean
+.PHONY: build test check bench bench-json bench-contention bench-contention-smoke bench-e21 bench-replay bench-replay-smoke profile-replay serve-smoke torture clean
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,12 @@ bench:
 
 # bench-json regenerates BENCH_PR4.json (pipeline performance: replay
 # ns+allocs per access, quick-matrix speedup of the engine's shared
-# arena vs a trace-regenerating baseline) and BENCH_PR5.json (set
-# sampling: quick-matrix speedup and validation errors at 1/8).
+# arena vs a trace-regenerating baseline), BENCH_PR5.json (set
+# sampling: quick-matrix speedup and validation errors at 1/8) and
+# BENCH_PR10.json (frame-kernel replay: min/median ns per access over
+# interleaved rounds — see perf_replay_test.go for the noise protocol).
 bench-json:
-	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSON$$|TestEmitBenchJSONPR5' -count=1 -v .
+	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSON$$|TestEmitBenchJSONPR5|TestEmitBenchJSONPR10$$' -count=1 -v .
 
 # bench-contention regenerates BENCH_PR7.json: 32 goroutines hammering
 # the warm run memo and warm trace arena, global-lock baseline vs the
@@ -62,6 +64,25 @@ bench-contention-smoke:
 # by construction).
 bench-replay:
 	MC_BENCH_JSON=1 $(GO) test -run 'TestEmitBenchJSONPR9$$' -count=1 -v .
+
+# bench-replay-smoke is the CI perf-regression gate for the replay hot
+# path: a short replay must stay allocation-free and under a generous
+# structural ns/access budget (~40x the recorded steady state), so it
+# catches a reintroduced per-access allocation or a decode regression
+# without ever failing on a slow runner (also part of the ordinary
+# test suite).
+bench-replay-smoke:
+	$(GO) test -run TestReplaySmoke -count=1 -v .
+
+# profile-replay captures a CPU profile of the replay benchmark and
+# dumps the pprof top table into results/ — the artifact the README's
+# profiling notes and DESIGN.md's kernel-floor analysis reference.
+profile-replay:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench BenchmarkPackedReplay -benchtime 2s \
+		-cpuprofile results/replay.prof -o results/replay.test .
+	$(GO) tool pprof -top -nodecount 20 results/replay.test results/replay.prof \
+		| tee results/replay_pprof_top.txt
 
 # bench-e21 regenerates the retention-fault sensitivity sweep.
 bench-e21:

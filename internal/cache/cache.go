@@ -218,8 +218,20 @@ type Cache struct {
 	// in a dense array of its own: a whole set's tags share one host
 	// cache line, so the per-way scan in Lookup/Probe stops striding
 	// across the much larger line structs. Lines stay authoritative —
-	// a tag match is verified against the line before it counts.
+	// a tag match is verified against the line before it counts. The
+	// array carries frameTagsPad permanent invalidTag entries past the
+	// last set so the frame kernel can load a fixed-width window from
+	// any row without a bounds branch (see frame.go).
 	tags []uint64
+	// seqs mirrors lines[i].lruSeq for valid lines (0 otherwise — a
+	// valid line's sequence is always positive because the counter
+	// pre-increments). The LRU/FIFO victim scan reads this dense array
+	// instead of striding across the 64-byte line structs: a 16-way
+	// row is two host cache lines here versus sixteen there, and the
+	// 0-for-invalid sentinel folds the prefer-an-invalid-way rule into
+	// the same min scan (an invalid way is the global minimum, and the
+	// strict < keeps the lowest index on ties).
+	seqs []uint64
 	seq  uint64 // replacement sequence counter
 
 	// allOn is true while every way is powered — the permanent state of
@@ -266,7 +278,8 @@ func New(cfg Config) (*Cache, error) {
 		tagShift:   uint(bits.Len64(uint64(sets - 1))),
 		indexMask:  uint64(sets - 1),
 		lines:      make([]line, sets*cfg.Ways),
-		tags:       make([]uint64, sets*cfg.Ways),
+		tags:       make([]uint64, sets*cfg.Ways+frameTagsPad),
+		seqs:       make([]uint64, sets*cfg.Ways),
 		policy:     cfg.Policy,
 	}
 	for i := range c.tags {
@@ -415,6 +428,7 @@ func (c *Cache) Lookup(addr uint64, write bool, dom trace.Domain, now uint64) (s
 					if c.policy == LRU && !write {
 						c.seq++
 						ln.lruSeq = c.seq
+						c.seqs[base+w] = c.seq
 						ln.meta.LastTouch = now
 						ln.meta.RefreshCount = 0
 					} else {
@@ -435,6 +449,7 @@ func (c *Cache) Lookup(addr uint64, write bool, dom trace.Domain, now uint64) (s
 				if c.policy == LRU && !write {
 					c.seq++
 					ln.lruSeq = c.seq
+					c.seqs[base+w] = c.seq
 					ln.meta.LastTouch = now
 					ln.meta.RefreshCount = 0
 				} else {
@@ -461,6 +476,7 @@ func (c *Cache) touchLine(ln *line, set, way int, write bool, dom trace.Domain, 
 	case LRU, FIFO: // FIFO does not update on hit
 		if c.policy == LRU {
 			ln.lruSeq = c.seq
+			c.seqs[set*c.ways+way] = c.seq
 		}
 	case Random:
 		// no state
@@ -533,6 +549,7 @@ func (c *Cache) Fill(addr uint64, write bool, dom trace.Domain, now uint64) Resu
 
 	c.seq++
 	c.tags[set*c.ways+way] = tag
+	c.seqs[set*c.ways+way] = c.seq
 	*ln = line{
 		valid:  true,
 		tag:    tag,
@@ -579,20 +596,17 @@ func (c *Cache) victim(set int, allowed uint64) int {
 	base := set * c.ways
 	switch c.policy {
 	case LRU, FIFO:
-		// The LRU scan must read every allowed line anyway, so the
-		// prefer-an-invalid-way rule folds into the same pass: the first
-		// invalid allowed way wins immediately, matching the standalone
-		// invalid scan's lowest-index choice.
-		lns := c.lines[base : base+c.ways]
+		// One min scan over the dense sequence sidecar: invalid ways
+		// hold 0, so the prefer-an-invalid-way rule is the same scan
+		// (see the seqs field comment), and the row costs two host
+		// cache lines instead of a load from every 64-byte line struct.
+		seqs := c.seqs[base : base+c.ways : base+c.ways]
 		best, bestSeq := -1, ^uint64(0)
-		for w := range lns {
+		for w := range seqs {
 			if allowed&(1<<uint(w)) == 0 {
 				continue
 			}
-			if !lns[w].valid {
-				return w
-			}
-			if s := lns[w].lruSeq; s < bestSeq {
+			if s := seqs[w]; s < bestSeq {
 				best, bestSeq = w, s
 			}
 		}
@@ -682,6 +696,7 @@ func (c *Cache) Invalidate(set, way int, now uint64, evict bool) (dirty bool, ad
 	}
 	ln.valid = false
 	c.tags[set*c.ways+way] = invalidTag
+	c.seqs[set*c.ways+way] = 0
 	return dirty, addr, true
 }
 
@@ -744,6 +759,7 @@ func (c *Cache) FlushWays(mask uint64, now uint64, wb func(addr uint64)) int {
 			}
 			ln.valid = false
 			c.tags[set*c.ways+w] = invalidTag
+			c.seqs[set*c.ways+w] = 0
 			flushed++
 		}
 	}

@@ -1,0 +1,101 @@
+package cache
+
+import "mobilecache/internal/trace"
+
+// This file is the cache-side surface of the frame-batched replay
+// kernel (mem.AccessFrame). The kernel scans the tags sidecar directly
+// and performs the hit bookkeeping through the specialized entry
+// points below, so the per-hit cost is the tag row scan plus a handful
+// of stores — no Lookup call, no Result struct, no per-access stats
+// writes (the kernel batches access/hit counts and flushes them once
+// per frame via AddFrameCounts). Everything here is LRU-specific and
+// gated by FrameKernelOK: a cache with gated ways or a non-LRU policy
+// is served by the general Lookup path instead.
+
+// Geometry exports the cache's (set, tag) address decomposition for
+// the trace-side frame precompute.
+func (c *Cache) Geometry() trace.SetTagGeom {
+	return trace.SetTagGeom{BlockShift: c.blockShift, IndexMask: c.indexMask, TagShift: c.tagShift}
+}
+
+// frameTagsPad is the number of permanent invalidTag sentinels kept
+// past the last set in the tags sidecar: the kernel's hit scan loads a
+// fixed FrameScanWays-wide window starting at any row base, so the
+// last row needs FrameScanWays-1 readable entries beyond it (one more
+// keeps the arithmetic obviously safe). Sentinels are invalidTag and
+// are never written — Fill and Invalidate only touch indexes below
+// sets*ways — and a window entry past the row's real ways is masked
+// out of the match bits before it can alias the next set.
+const frameTagsPad = FrameScanWays
+
+// FrameScanWays is the fixed width of the kernel's tag-row scan.
+const FrameScanWays = 4
+
+// FrameKernelOK reports whether the frame kernel's specialized hit
+// path is valid for this cache: every way powered, LRU replacement,
+// and associativity within the fixed scan width. All three are the
+// permanent state of every L1 the simulator builds; the check guards
+// against future organizations silently taking a path whose semantics
+// would no longer match Lookup.
+func (c *Cache) FrameKernelOK() bool {
+	return c.allOn && c.policy == LRU && c.ways <= FrameScanWays
+}
+
+// FrameTags exposes the tags sidecar for the kernel's hit scan. A
+// sidecar match is a hint, not a hit: the caller must confirm it with
+// VerifyHit before touching anything (see the invalidTag comment).
+func (c *Cache) FrameTags() []uint64 { return c.tags }
+
+// Ways reports the associativity (the sidecar row stride).
+func (c *Cache) Ways() int { return c.ways }
+
+// VerifyHit confirms a sidecar tag match against the authoritative
+// line: lines[i] is valid and holds tag.
+func (c *Cache) VerifyHit(i int, tag uint64) bool {
+	ln := &c.lines[i]
+	return ln.valid && ln.tag == tag
+}
+
+// TouchReadHitLRU is the read-hit bookkeeping of Lookup's LRU fast
+// path for a verified hit on lines[i]: bump the replacement clock and
+// refresh the line's recency metadata.
+func (c *Cache) TouchReadHitLRU(i int, now uint64) {
+	c.seq++
+	ln := &c.lines[i]
+	ln.lruSeq = c.seq
+	c.seqs[i] = c.seq
+	ln.meta.LastTouch = now
+	ln.meta.RefreshCount = 0
+}
+
+// TouchWriteHitLRU is touchLine's LRU write-hit path for a verified
+// hit on lines[i]: recency update plus write-interval stats, dirty
+// marking and the per-domain write counter, in touchLine's exact
+// order.
+func (c *Cache) TouchWriteHitLRU(i int, dom trace.Domain, now uint64) {
+	c.seq++
+	ln := &c.lines[i]
+	ln.lruSeq = c.seq
+	c.seqs[i] = c.seq
+	ln.meta.LastTouch = now
+	ln.meta.RefreshCount = 0
+	if ln.meta.WrittenAt <= now {
+		c.stats.WriteIntervals[ln.meta.Domain].Observe(now - ln.meta.WrittenAt)
+	}
+	ln.meta.Dirty = true
+	ln.meta.WrittenAt = now
+	c.stats.Writes[dom]++
+}
+
+// AddFrameCounts flushes a frame's batched access/hit tallies into the
+// stats counters (misses are the difference). Nothing reads the
+// counters mid-frame — the miss path goes through Fill, which keeps
+// its own counters — so deferring the adds to the frame boundary is
+// observation-equivalent to Lookup's per-access increments.
+func (c *Cache) AddFrameCounts(acc, hits *[trace.NumDomains]uint64) {
+	for d := range acc {
+		c.stats.Accesses[d] += acc[d]
+		c.stats.Hits[d] += hits[d]
+		c.stats.Misses[d] += acc[d] - hits[d]
+	}
+}

@@ -71,6 +71,15 @@ func (c *Cache) Restore(s State) {
 	}
 	copy(c.lines, s.lines)
 	copy(c.tags, s.tags)
+	// The sequence sidecar is derived state — rebuild it from the
+	// restored lines rather than widening the snapshot schema.
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.seqs[i] = c.lines[i].lruSeq
+		} else {
+			c.seqs[i] = 0
+		}
+	}
 	c.seq = s.seq
 	c.allOn = s.allOn
 	c.enabledMask = s.enabledMask
@@ -156,6 +165,7 @@ func (c *Cache) LookupAt(set int, tag uint64, write bool, dom trace.Domain, now 
 					if c.policy == LRU && !write {
 						c.seq++
 						ln.lruSeq = c.seq
+						c.seqs[base+w] = c.seq
 						ln.meta.LastTouch = now
 						ln.meta.RefreshCount = 0
 					} else {
@@ -176,6 +186,7 @@ func (c *Cache) LookupAt(set int, tag uint64, write bool, dom trace.Domain, now 
 				if c.policy == LRU && !write {
 					c.seq++
 					ln.lruSeq = c.seq
+					c.seqs[base+w] = c.seq
 					ln.meta.LastTouch = now
 					ln.meta.RefreshCount = 0
 				} else {

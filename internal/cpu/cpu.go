@@ -95,8 +95,10 @@ func (r Result) StallFraction() float64 {
 	return float64(r.StallCycles) / float64(r.Cycles)
 }
 
-// stepBatchLen is how many records Run stages per stepBatch call; big
-// enough to amortize batch setup, small enough to stay L1-resident.
+// stepBatchLen is the frame size: how many records Run stages per
+// AccessFrame call. Big enough to amortize frame setup (the kernel
+// hoists hierarchy state once per frame), small enough that the frame
+// buffer stays L1-resident on the host.
 const stepBatchLen = 256
 
 // CPU binds a config to a hierarchy.
@@ -106,6 +108,7 @@ type CPU struct {
 	now  uint64
 	buf  []trace.Access
 	pre  []mem.FramePre
+	geom trace.FrameGeom
 }
 
 // New builds a CPU over the hierarchy.
@@ -121,8 +124,9 @@ func New(cfg Config, hier *mem.Hierarchy) (*CPU, error) {
 	}
 	return &CPU{
 		cfg: cfg, hier: hier,
-		buf: make([]trace.Access, stepBatchLen),
-		pre: make([]mem.FramePre, stepBatchLen),
+		buf:  make([]trace.Access, stepBatchLen),
+		pre:  make([]mem.FramePre, stepBatchLen),
+		geom: hier.FrameGeom(),
 	}, nil
 }
 
@@ -192,90 +196,79 @@ func (c *CPU) Run(src trace.Source, maxAccesses uint64) Result {
 // not synchronize the hierarchy's leakage clocks at the end — call
 // Finish after the last segment. maxAccesses bounds this call alone.
 //
-// Replay cursors take devirtualized fast paths: a trace.SliceCursor
-// (hot-tier decoded replay) is stepped over zero-copy batches of its
-// records, and a trace.Cursor (packed replay) is bulk-decoded into the
-// staging buffer — in both cases the per-access interface round-trip
-// through Source.Next disappears, which is what keeps steady-state
-// replay at zero allocations and full speed. All paths execute the
-// identical per-access step, so results never depend on the source's
-// type.
+// Replay runs in frames: each iteration stages up to one frame of
+// records (stepBatchLen, clipped so no frame spans an idle or
+// leakage-sync boundary — see frameCap) and hands it to the
+// hierarchy's frame kernel in a single AccessFrame call. Cursors take
+// devirtualized fast paths: a trace.SliceCursor (hot-tier decoded
+// replay) stages zero-copy batches of its records through the frame
+// precompute, and a trace.Cursor (packed replay) decodes straight
+// into the frame buffer with the precompute fused into the varint
+// loop (DecodeFrame) — no intermediate Access staging at all. All
+// paths execute the identical frame step, so results never depend on
+// the source's type.
 func (c *CPU) RunFrom(rs *RunState, src trace.Source, maxAccesses uint64) Result {
 	var res Result
 	st := &rs.st
-	if cur, ok := src.(*trace.SliceCursor); ok {
-		// Hot-tier replay: the records already exist in memory, so the
-		// machine steps directly over shared sub-slices of them — no
-		// decode, no staging copy.
+	switch cur := src.(type) {
+	case *trace.SliceCursor:
+		// Hot-tier replay: the records already exist in memory, so frames
+		// stage as shared sub-slices of them — no decode, no copy.
 		for {
-			want := cur.Remaining()
-			if maxAccesses != 0 {
-				if left := maxAccesses - res.Accesses; left < uint64(want) {
-					want = int(left)
-				}
-			}
+			want := c.frameCap(st, &res, maxAccesses)
 			b := cur.Batch(want)
 			if len(b) == 0 {
 				break
 			}
-			c.stepBatch(b, &res, st)
+			c.hier.PrecomputeFrame(b, c.pre)
+			c.stepFrame(c.pre[:len(b)], &res, st)
+			c.frameEnd(len(b), &res, st)
 		}
-		rs.res.Add(res)
-		return res
-	}
-	if cur, ok := src.(*trace.Cursor); ok {
-		for maxAccesses == 0 || res.Accesses < maxAccesses {
-			want := len(c.buf)
-			if maxAccesses != 0 {
-				if left := maxAccesses - res.Accesses; left < uint64(want) {
-					want = int(left)
-				}
-			}
-			n := cur.Decode(c.buf[:want])
+	case *trace.Cursor:
+		for {
+			want := c.frameCap(st, &res, maxAccesses)
+			n := cur.DecodeFrame(c.pre[:want], &c.geom)
 			if n == 0 {
 				break
 			}
-			c.stepBatch(c.buf[:n], &res, st)
+			c.stepFrame(c.pre[:n], &res, st)
+			c.frameEnd(n, &res, st)
 		}
-	} else if bd, ok := src.(batchDecoder); ok {
-		// Any other bulk-decoding source (e.g. the set-sampling filter
-		// wrapping a cursor) fills the staging buffer the same way. The
-		// loop is duplicated rather than shared through a method value:
-		// binding cur.Decode to a func variable would allocate per Run.
-		for maxAccesses == 0 || res.Accesses < maxAccesses {
-			want := len(c.buf)
-			if maxAccesses != 0 {
-				if left := maxAccesses - res.Accesses; left < uint64(want) {
-					want = int(left)
-				}
-			}
-			n := bd.Decode(c.buf[:want])
-			if n == 0 {
-				break
-			}
-			c.stepBatch(c.buf[:n], &res, st)
-		}
-	} else {
-		for maxAccesses == 0 || res.Accesses < maxAccesses {
-			want := len(c.buf)
-			if maxAccesses != 0 {
-				if left := maxAccesses - res.Accesses; left < uint64(want) {
-					want = int(left)
-				}
-			}
-			n := 0
-			for n < want {
-				a, ok := src.Next()
-				if !ok {
+	default:
+		if bd, ok := src.(batchDecoder); ok {
+			// Any other bulk-decoding source (e.g. the set-sampling filter
+			// wrapping a cursor) fills the staging buffer the same way. The
+			// loop is duplicated rather than shared through a method value:
+			// binding bd.Decode to a func variable would allocate per Run.
+			for {
+				want := c.frameCap(st, &res, maxAccesses)
+				n := bd.Decode(c.buf[:want])
+				if n == 0 {
 					break
 				}
-				c.buf[n] = a
-				n++
+				c.hier.PrecomputeFrame(c.buf[:n], c.pre)
+				c.stepFrame(c.pre[:n], &res, st)
+				c.frameEnd(n, &res, st)
 			}
-			if n == 0 {
-				break
+		} else {
+			for {
+				want := c.frameCap(st, &res, maxAccesses)
+				n := 0
+				for n < want {
+					a, ok := src.Next()
+					if !ok {
+						break
+					}
+					c.buf[n] = a
+					n++
+				}
+				if n == 0 {
+					break
+				}
+				c.hier.PrecomputeFrame(c.buf[:n], c.pre)
+				c.stepFrame(c.pre[:n], &res, st)
+				c.frameEnd(n, &res, st)
 			}
-			c.stepBatch(c.buf[:n], &res, st)
 		}
 	}
 	rs.res.Add(res)
@@ -304,78 +297,84 @@ type stepState struct {
 	unitCPI           bool
 }
 
-// stepBatch charges a staged batch of trace records: base cycles for
-// each record's instructions, hierarchy stalls, and the periodic
-// idle/leakage clock synchronization. Working totals stay in locals
-// across the batch — the per-access cost is the hierarchy access plus
-// pure register arithmetic — and fold into res at the end. Both Run
-// loops charge every record through here, so results can never depend
-// on the source's type.
-func (c *CPU) stepBatch(batch []trace.Access, res *Result, st *stepState) {
-	now := c.now
-	hier := c.hier
-	pre := c.pre
-	idleLeft, advLeft := st.idleLeft, st.advLeft
-	var instrs, cycles, stalls uint64
-	var byDomain [trace.NumDomains]uint64
-
-	res.Accesses += uint64(len(batch))
-	for len(batch) > 0 {
-		chunk := batch
-		if len(chunk) > stepBatchLen {
-			chunk = batch[:stepBatchLen]
+// frameCap sizes the next frame: at most stepBatchLen records, never
+// crossing the idle or leakage-sync countdown (so those events fire
+// exactly at frame boundaries, at the same access positions the
+// per-record loop fired them), and never past this call's maxAccesses
+// budget. Countdowns are always positive here — frameEnd resets them
+// the moment they reach zero.
+func (c *CPU) frameCap(st *stepState, res *Result, maxAccesses uint64) int {
+	want := stepBatchLen
+	if st.advLeft < uint64(want) {
+		want = int(st.advLeft)
+	}
+	if st.idleLeft > 0 && st.idleLeft < uint64(want) {
+		want = int(st.idleLeft)
+	}
+	if maxAccesses != 0 {
+		if left := maxAccesses - res.Accesses; left < uint64(want) {
+			want = int(left)
 		}
-		batch = batch[len(chunk):]
-		// Frame precompute: the L1 routing and set/tag decomposition are
-		// pure functions of each record, so they run as one tight pass
-		// over the chunk with no cache-state dependencies; the step loop
-		// below then starts every access directly at the tag scan
-		// (AccessPre), branch-minimized. Identical effects to calling
-		// hier.Access per record — see mem/frame.go.
-		hier.PrecomputeFrame(chunk, pre)
-		for i, a := range chunk {
-			instr := a.Instructions()
-			var busy uint64
-			if st.unitCPI {
-				busy = instr
-			} else {
-				busy = uint64(float64(instr) * c.cfg.BaseCPI)
-			}
+	}
+	return want
+}
+
+// stepFrame charges one staged frame: base cycles for each record's
+// instructions (rescaled in place for non-unit CPI) and the
+// hierarchy's frame kernel for the accesses. The kernel returns the
+// frame's clock totals; everything folds into res in one pass.
+func (c *CPU) stepFrame(pre []mem.FramePre, res *Result, st *stepState) {
+	var instrs uint64
+	if !st.unitCPI {
+		// DecodeFrame/PrecomputeFrame fill Busy with the instruction
+		// count; rescale to base cycles here, preserving the old loop's
+		// at-least-one-cycle clamp.
+		for i := range pre {
+			instr := pre[i].Busy
+			instrs += instr
+			busy := uint64(float64(instr) * c.cfg.BaseCPI)
 			if busy == 0 {
 				busy = 1
 			}
-			now += busy
-			stall := hier.AccessPre(a, pre[i], now)
-			now += stall
-
-			instrs += instr
-			cycles += busy + stall
-			stalls += stall
-			byDomain[a.Domain] += busy + stall
-
-			if idleLeft > 0 {
-				if idleLeft--; idleLeft == 0 {
-					idleLeft = c.cfg.IdleEvery
-					now += c.cfg.IdleCycles
-					res.IdleCycles += c.cfg.IdleCycles
-					// Let retention controllers and leakage meters observe
-					// the idle stretch immediately.
-					hier.Advance(now)
-				}
-			}
-			if advLeft--; advLeft == 0 {
-				advLeft = c.cfg.AdvanceEvery
-				hier.Advance(now)
-			}
+			pre[i].Busy = busy
 		}
 	}
-
-	c.now = now
-	st.idleLeft, st.advLeft = idleLeft, advLeft
+	fs := c.hier.AccessFrame(pre, c.now)
+	if st.unitCPI {
+		// Unit CPI: busy cycles are the instruction counts (each >= 1 by
+		// construction, so the clamp never binds).
+		instrs = fs.Busy
+	}
+	c.now += fs.Busy + fs.Stall
+	res.Accesses += uint64(len(pre))
 	res.Instructions += instrs
-	res.Cycles += cycles
-	res.StallCycles += stalls
-	for d, v := range byDomain {
+	res.Cycles += fs.Busy + fs.Stall
+	res.StallCycles += fs.Stall
+	for d, v := range fs.ByDomain {
 		res.CyclesByDomain[d] += v
+	}
+}
+
+// frameEnd retires a frame of n accesses against the idle and
+// leakage-sync countdowns. frameCap guarantees n never overshoots
+// either countdown, so each fires exactly at its per-access position;
+// when both fire at the same access, idle runs first and the leakage
+// sync observes the post-idle clock — the per-record loop's order.
+func (c *CPU) frameEnd(n int, res *Result, st *stepState) {
+	st.advLeft -= uint64(n)
+	if st.idleLeft > 0 {
+		st.idleLeft -= uint64(n)
+		if st.idleLeft == 0 {
+			st.idleLeft = c.cfg.IdleEvery
+			c.now += c.cfg.IdleCycles
+			res.IdleCycles += c.cfg.IdleCycles
+			// Let retention controllers and leakage meters observe the
+			// idle stretch immediately.
+			c.hier.Advance(c.now)
+		}
+	}
+	if st.advLeft == 0 {
+		st.advLeft = c.cfg.AdvanceEvery
+		c.hier.Advance(c.now)
 	}
 }

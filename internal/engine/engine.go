@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -268,7 +269,9 @@ func (e *Engine) RunOneSegmented(ctx context.Context, c Cell, accesses int, seg 
 	if err := seg.Validate(); err != nil {
 		return sim.RunReport{}, err
 	}
-	if !seg.Enabled() {
+	if !seg.Enabled() || seg.Norm().FallsBackToSerial(accesses, runtime.GOMAXPROCS(0)) {
+		// Serial auto-fallback decided here, as in Execute, so the cell
+		// is keyed and memoized as the serial content it produces.
 		return e.RunOne(ctx, c, accesses, 0)
 	}
 	if err := ctx.Err(); err != nil {
@@ -353,6 +356,12 @@ type ExecOptions struct {
 	// — bit-identical stitched integer counters, no speedup, the
 	// oracle the equivalence gate runs.
 	SegmentWarmup int
+	// SegmentForce disables the serial auto-fallback
+	// (sim.SegmentPlan.FallsBackToSerial) so the segmented machinery is
+	// exercised regardless of host shape and cell size — the validation
+	// harness and benchmark emitters set it; sweeps leave it off and
+	// let small cells and single-core hosts replay serially.
+	SegmentForce bool
 	// FS is the filesystem every durable artifact of this execution
 	// (checkpoint journal, failure manifest) goes through; nil selects
 	// the real one. Fault-injection tests swap in a faultfs.FaultFS to
@@ -411,12 +420,22 @@ func (e *Engine) Execute(ctx context.Context, plan Plan, opt ExecOptions, sinks 
 	}
 	var seg sim.SegmentPlan
 	if opt.SegmentWorkers > 1 {
-		seg = sim.SegmentPlan{Segments: opt.SegmentWorkers, Warmup: opt.SegmentWarmup, Workers: opt.SegmentWorkers}
+		seg = sim.SegmentPlan{Segments: opt.SegmentWorkers, Warmup: opt.SegmentWarmup, Workers: opt.SegmentWorkers, Force: opt.SegmentForce}
 		if plan.Warmup > 0 {
 			return sum, fmt.Errorf("engine: segmented replay does not compose with plan-level warmup (segments measure cold)")
 		}
 		if plan.Sample.Norm().Enabled() {
 			return sum, fmt.Errorf("engine: segmented replay does not compose with set sampling")
+		}
+		// If every cell of this plan would take the serial auto-fallback
+		// anyway, decide it here instead of inside sim.RunSegmented: the
+		// cells are then keyed, memoized and journaled as the ordinary
+		// serial content they actually are, so a memo entry written on
+		// this host can never alias a genuinely stitched estimate.
+		if seg.Norm().FallsBackToSerial(plan.Accesses, runtime.GOMAXPROCS(0)) {
+			fmt.Fprintf(logw, "segmented replay: falling back to serial (%d accesses, GOMAXPROCS=%d)\n",
+				plan.Accesses, runtime.GOMAXPROCS(0))
+			seg = sim.SegmentPlan{}
 		}
 	}
 	fsys := opt.FS

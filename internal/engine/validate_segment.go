@@ -122,7 +122,10 @@ func (e *Engine) ValidateSegmented(ctx context.Context, plan Plan, seg sim.Segme
 		return v, err
 	}
 	v.SerialWall = serialWall
-	segmented, _, segmentedWall, err := runArm(ExecOptions{SegmentWorkers: v.Plan.Segments, SegmentWarmup: v.Plan.Warmup})
+	// SegmentForce: the audit must measure the stitching machinery
+	// itself — letting the serial auto-fallback replace the segmented
+	// arm would validate nothing (both arms identical, zero error).
+	segmented, _, segmentedWall, err := runArm(ExecOptions{SegmentWorkers: v.Plan.Segments, SegmentWarmup: v.Plan.Warmup, SegmentForce: true})
 	if err != nil {
 		return v, err
 	}

@@ -69,16 +69,25 @@ func OpenPageDRAMConfig() DRAMConfig {
 
 const noOpenRow = ^uint64(0)
 
-// DRAM is the main memory model.
+// DRAM is the main memory model. Like energy.Meter, it keeps only
+// integer event counts on the access path — reads, writebacks, and the
+// row-hit split of each — and computes energy from them at EnergyJ()
+// time. The per-access work is pure integer bookkeeping; the float
+// multiplies run once per report, and accumulation-order rounding
+// disappears (the sum n*pJ is exact where adding pJ n times is not).
 type DRAM struct {
-	cfg     DRAMConfig
-	reads   uint64
-	writes  uint64
-	energyJ float64
+	cfg    DRAMConfig
+	reads  uint64
+	writes uint64
 
-	openRows  []uint64
-	rowHits   uint64
-	rowMisses uint64
+	openRows []uint64
+	// rowHitReads/rowHitWrites split the open-page row hits by
+	// operation: the two sides charge different miss energies, so the
+	// deferred energy computation needs the split, and the public
+	// RowHits/RowMisses counters derive from them (every access
+	// classifies exactly once).
+	rowHitReads  uint64
+	rowHitWrites uint64
 }
 
 // NewDRAM builds a DRAM model.
@@ -101,16 +110,14 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return d
 }
 
-// rowLookup classifies an access and updates the open-row state,
-// returning whether it hit the open row.
+// rowLookup classifies an access against the open-row state and
+// updates it, returning whether it hit the open row.
 func (d *DRAM) rowLookup(addr uint64) bool {
 	row := addr / d.cfg.RowBytes
 	bank := int(row) % d.cfg.Banks
 	if d.openRows[bank] == row {
-		d.rowHits++
 		return true
 	}
-	d.rowMisses++
 	d.openRows[bank] = row
 	return false
 }
@@ -118,15 +125,10 @@ func (d *DRAM) rowLookup(addr uint64) bool {
 // Read charges one demand fill of addr and returns its latency.
 func (d *DRAM) Read(addr uint64) uint64 {
 	d.reads++
-	if d.cfg.Policy == RowOpenPage {
-		if d.rowLookup(addr) {
-			d.energyJ += d.cfg.RowHitPJ * 1e-12
-			return d.cfg.RowHitCycles
-		}
-		d.energyJ += d.cfg.ReadPJ * 1e-12
-		return d.cfg.LatencyCycles
+	if d.cfg.Policy == RowOpenPage && d.rowLookup(addr) {
+		d.rowHitReads++
+		return d.cfg.RowHitCycles
 	}
-	d.energyJ += d.cfg.ReadPJ * 1e-12
 	return d.cfg.LatencyCycles
 }
 
@@ -134,13 +136,9 @@ func (d *DRAM) Read(addr uint64) uint64 {
 // latency returned).
 func (d *DRAM) Write(addr uint64) {
 	d.writes++
-	if d.cfg.Policy == RowOpenPage {
-		if d.rowLookup(addr) {
-			d.energyJ += d.cfg.RowHitPJ * 1e-12
-			return
-		}
+	if d.cfg.Policy == RowOpenPage && d.rowLookup(addr) {
+		d.rowHitWrites++
 	}
-	d.energyJ += d.cfg.WritePJ * 1e-12
 }
 
 // Reads reports demand fills served.
@@ -149,15 +147,33 @@ func (d *DRAM) Reads() uint64 { return d.reads }
 // Writes reports writebacks absorbed.
 func (d *DRAM) Writes() uint64 { return d.writes }
 
-// RowHits and RowMisses report open-page statistics (zero under
-// RowFlat).
-func (d *DRAM) RowHits() uint64 { return d.rowHits }
+// RowHits reports open-page row-buffer hits (zero under RowFlat).
+func (d *DRAM) RowHits() uint64 { return d.rowHitReads + d.rowHitWrites }
 
-// RowMisses reports row-buffer conflicts.
-func (d *DRAM) RowMisses() uint64 { return d.rowMisses }
+// RowMisses reports row-buffer conflicts (zero under RowFlat: no
+// access classifies, so the difference below is zero by construction).
+func (d *DRAM) RowMisses() uint64 {
+	if d.cfg.Policy != RowOpenPage {
+		return 0
+	}
+	return d.reads + d.writes - d.rowHitReads - d.rowHitWrites
+}
 
-// EnergyJ reports total DRAM access energy.
-func (d *DRAM) EnergyJ() float64 { return d.energyJ }
+// EnergyJ computes total DRAM access energy from the event counts.
+// Deferring the float math here (rather than accumulating joules per
+// access) mirrors energy.Meter.Breakdown: the hot path stays integer,
+// and each event class contributes one exactly-rounded product instead
+// of n incremental additions.
+func (d *DRAM) EnergyJ() float64 {
+	pJ := float64(d.reads)*d.cfg.ReadPJ + float64(d.writes)*d.cfg.WritePJ
+	if d.cfg.Policy == RowOpenPage {
+		// Row hits charge RowHitPJ instead of the full access energy:
+		// swap the difference in, per operation class.
+		pJ += float64(d.rowHitReads)*(d.cfg.RowHitPJ-d.cfg.ReadPJ) +
+			float64(d.rowHitWrites)*(d.cfg.RowHitPJ-d.cfg.WritePJ)
+	}
+	return pJ * 1e-12
+}
 
 // L1Config parameterizes one first-level cache.
 type L1Config struct {

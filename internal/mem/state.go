@@ -17,21 +17,22 @@ import (
 // bit-identically.
 
 // DRAMState is a copyable snapshot of the DRAM model's mutable state.
+// Energy is not captured: the model keeps only event counts and
+// computes joules at report time, so the counts are the whole state.
 type DRAMState struct {
-	reads     uint64
-	writes    uint64
-	energyJ   float64
-	openRows  []uint64
-	rowHits   uint64
-	rowMisses uint64
+	reads        uint64
+	writes       uint64
+	openRows     []uint64
+	rowHitReads  uint64
+	rowHitWrites uint64
 }
 
 // Snapshot captures the DRAM's complete mutable state.
 func (d *DRAM) Snapshot() DRAMState {
 	return DRAMState{
-		reads: d.reads, writes: d.writes, energyJ: d.energyJ,
-		openRows: append([]uint64(nil), d.openRows...),
-		rowHits:  d.rowHits, rowMisses: d.rowMisses,
+		reads: d.reads, writes: d.writes,
+		openRows:    append([]uint64(nil), d.openRows...),
+		rowHitReads: d.rowHitReads, rowHitWrites: d.rowHitWrites,
 	}
 }
 
@@ -40,9 +41,9 @@ func (d *DRAM) Restore(s DRAMState) {
 	if len(s.openRows) != len(d.openRows) {
 		panic(fmt.Sprintf("mem: restoring DRAM snapshot with %d banks, have %d", len(s.openRows), len(d.openRows)))
 	}
-	d.reads, d.writes, d.energyJ = s.reads, s.writes, s.energyJ
+	d.reads, d.writes = s.reads, s.writes
 	copy(d.openRows, s.openRows)
-	d.rowHits, d.rowMisses = s.rowHits, s.rowMisses
+	d.rowHitReads, d.rowHitWrites = s.rowHitReads, s.rowHitWrites
 }
 
 // L1State snapshots one first-level cache: array plus meter.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"mobilecache/internal/config"
@@ -60,6 +61,15 @@ import (
 // re-converge before measurement starts.
 const DefaultSegmentWarmup = 65_536
 
+// SegmentedMinAccesses is the cell size below which approximate
+// segmented replay is not worth its overhead: each segment rebuilds a
+// machine and replays a DefaultSegmentWarmup-sized prefix, so on a
+// cell this small the warmup work rivals the measured work and the
+// stitched answer costs more than the serial exact one (BENCH_PR9
+// measured 0.92x/0.82x/0.76x of serial at 1/2/4 workers on a 600k
+// cell on a single-core host).
+const SegmentedMinAccesses = 262_144
+
 // SegmentPlan describes how to split one cell's replay.
 type SegmentPlan struct {
 	// Segments is how many contiguous pieces the stream splits into.
@@ -71,8 +81,30 @@ type SegmentPlan struct {
 	// (bit-identical integer counters, no speedup — the oracle mode).
 	Warmup int
 	// Workers bounds how many segments replay concurrently; <= 0 means
-	// one worker per segment.
+	// one worker per segment. Like Force, Workers never joins a content
+	// key: it changes wall clock, not the stitched result.
 	Workers int
+	// Force disables the serial auto-fallback (FallsBackToSerial), so
+	// the segmented machinery runs even where it cannot pay for itself
+	// — stitch-error audits, oracle equivalence tests and benchmark
+	// emitters set it; sweeps leave it off.
+	Force bool
+}
+
+// FallsBackToSerial reports whether an approximate plan should degrade
+// to one serial exact replay of the n-record cell on a host with procs
+// schedulable CPUs: with one CPU the segments just time-slice and the
+// per-segment warmup replay is pure added work, and below
+// SegmentedMinAccesses the warmups dominate at any width. Exact
+// full-prefix plans (Warmup < 0) never fall back — they are the
+// equivalence oracle and must exercise the stitching machinery — and
+// Force overrides the heuristic outright. The serial answer is exact
+// where the stitched one is approximate, so the fallback only ever
+// improves accuracy; the honest cost is that a "segmented" request on
+// such hosts or cells quietly reports exact numbers (DESIGN.md,
+// "Segmented replay and the stitching error model").
+func (p SegmentPlan) FallsBackToSerial(n, procs int) bool {
+	return !p.Force && p.Warmup >= 0 && (procs <= 1 || n < SegmentedMinAccesses)
 }
 
 // Enabled reports whether the plan actually segments the replay.
@@ -169,6 +201,9 @@ func RunSegmented(cfg config.Machine, name string, tr tracestore.Trace, accesses
 	}
 	plan = plan.Norm()
 	segments := plan.Segments
+	if plan.FallsBackToSerial(n, runtime.GOMAXPROCS(0)) {
+		segments = 1
+	}
 	if segments > n {
 		segments = n
 	}

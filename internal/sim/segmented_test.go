@@ -291,9 +291,12 @@ func TestRunSegmentedApproxBounded(t *testing.T) {
 		name string
 		plan SegmentPlan
 	}{
-		{"baseline-sram", SegmentPlan{Segments: 4}}, // Norm fills Warmup + Workers
-		{"baseline-stt", SegmentPlan{Segments: 4}},
-		{"dp", SegmentPlan{Segments: 4, Warmup: 131_072}},
+		// Force: these cases audit the approximate stitching itself, so
+		// the serial auto-fallback (which would make both arms identical)
+		// must not replace it on small hosts. Norm fills Warmup + Workers.
+		{"baseline-sram", SegmentPlan{Segments: 4, Force: true}},
+		{"baseline-stt", SegmentPlan{Segments: 4, Force: true}},
+		{"dp", SegmentPlan{Segments: 4, Warmup: 131_072, Force: true}},
 	}
 	for _, tc := range cases {
 		name, plan := tc.name, tc.plan
@@ -334,5 +337,68 @@ func TestRunSegmentedValidation(t *testing.T) {
 	}
 	if _, err := RunSegmentedWorkloadFrom(nil, MachineOrDie(t, "baseline-sram"), smallProfile(), 1, 1000, SegmentPlan{Segments: 2}); err == nil {
 		t.Fatal("nil store accepted")
+	}
+}
+
+// TestSegmentedAutoFallback pins the serial auto-fallback decision
+// table and its behavioral consequence: an approximate plan on a cell
+// the heuristic rejects produces exactly the serial report.
+func TestSegmentedAutoFallback(t *testing.T) {
+	norm := func(p SegmentPlan) SegmentPlan { return p.Norm() }
+	cases := []struct {
+		name     string
+		plan     SegmentPlan
+		n, procs int
+		want     bool
+	}{
+		{"single core", norm(SegmentPlan{Segments: 4}), 10 * SegmentedMinAccesses, 1, true},
+		{"small cell", norm(SegmentPlan{Segments: 4}), SegmentedMinAccesses - 1, 8, true},
+		{"threshold cell keeps segments", norm(SegmentPlan{Segments: 4}), SegmentedMinAccesses, 8, false},
+		{"big cell, many cores", norm(SegmentPlan{Segments: 4}), 10 * SegmentedMinAccesses, 8, false},
+		{"exact oracle never falls back", norm(SegmentPlan{Segments: 4, Warmup: -1}), 100, 1, false},
+		{"force overrides", norm(SegmentPlan{Segments: 4, Force: true}), 100, 1, false},
+	}
+	for _, tc := range cases {
+		if got := tc.plan.FallsBackToSerial(tc.n, tc.procs); got != tc.want {
+			t.Errorf("%s: FallsBackToSerial(%d, %d) = %v, want %v", tc.name, tc.n, tc.procs, got, tc.want)
+		}
+	}
+
+	// Behavioral arm: the cell is far below SegmentedMinAccesses, so the
+	// approximate plan must degrade to serial on any host — the report
+	// matches RunTrace bit-for-bit on the integer counters and is not
+	// marked segmented.
+	store := tracestore.New(0)
+	prof := smallProfile()
+	const total = 20_000
+	tr, err := store.GetTrace(prof, 13, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MachineOrDie(t, "baseline-sram")
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := RunTrace(m, prof.Name, tr.Cursor(), 0)
+	seg, err := RunSegmented(cfg, prof.Name, tr, total, SegmentPlan{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Segments != 0 {
+		t.Fatalf("fallback report marks %d segments, want unsegmented", seg.Segments)
+	}
+	if !reflect.DeepEqual(serial.CPU, seg.CPU) || !reflect.DeepEqual(serial.L2, seg.L2) {
+		t.Fatal("fallback report diverges from serial replay")
+	}
+
+	// Forcing the same plan on the same tiny cell must exercise the real
+	// stitching machinery and say so in the report.
+	forced, err := RunSegmented(cfg, prof.Name, tr, total, SegmentPlan{Segments: 4, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Segments != 4 {
+		t.Fatalf("forced plan reports %d segments, want 4", forced.Segments)
 	}
 }

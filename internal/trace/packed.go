@@ -1,9 +1,6 @@
 package trace
 
-import (
-	"encoding/binary"
-	"math/bits"
-)
+import "encoding/binary"
 
 // This file implements the packed trace arena format: an immutable,
 // struct-of-arrays in-memory representation of a materialized trace.
@@ -11,25 +8,74 @@ import (
 // correlated — addresses and PCs move in small strides — so the arena
 // stores per-field byte streams instead of []Access:
 //
-//	addr   zigzag varint deltas from the previous record's address
-//	pc     zigzag varint deltas from the previous record's PC
+//	ctrl   one byte per record carrying three 2-bit width codes (addr
+//	       in bits 0-1, pc in 2-3, gap in 4-5); code c means the value
+//	       occupies 1<<c bytes in its stream
+//	addr   zigzag deltas from the previous record's address, stored
+//	       little-endian in the coded width
+//	pc     zigzag deltas from the previous record's PC, same encoding
 //	opdom  one byte per record: op in the low bits, domain above it
-//	gap    plain varints (gaps are small non-negative counts)
+//	gap    plain values (gaps are small non-negative counts)
 //
-// A 40-byte Access typically packs into 4-7 bytes, so a 400k-access
-// trace costs ~2MB instead of ~16MB, and the sweep engine can keep many
-// (app, seed) traces resident (see internal/tracestore). Packed values
-// are immutable after construction; any number of Cursors may replay
-// one concurrently, and replay allocates nothing.
+// The coded fixed widths {1,2,4,8} replace the varints an earlier
+// revision used: a varint decode is a serial chain (the next byte
+// position is known only after the current length is found by
+// inspecting continuation bits), whereas here every length comes from
+// the ctrl byte, so each field decodes as one unconditional 8-byte
+// load, a mask, and a shift-free position bump — no continuation-bit
+// scan, no 7-bit fold chain, no length branches. The price is about a
+// byte per record of width rounding plus the ctrl stream itself; the
+// arena is an in-memory cache under a byte budget (internal/
+// tracestore), so trading a few percent of residency for a decode
+// that is pure straight-line ALU is the right side of the bargain.
+//
+// A 40-byte Access typically packs into 6-8 bytes, so a 400k-access
+// trace costs ~3MB instead of ~16MB, and the sweep engine can keep many
+// (app, seed) traces resident. Packed values are immutable after
+// construction; any number of Cursors may replay one concurrently, and
+// replay allocates nothing.
 
 // domShift positions the domain bits above the op bits in the packed
 // op+domain byte.
 const domShift = 2
 
+// widthMask selects the low 1<<c bytes of an 8-byte little-endian
+// load, for width code c.
+var widthMask = [4]uint64{0xff, 0xffff, 0xffff_ffff, ^uint64(0)}
+
+// widthCode returns the smallest width code whose 1<<c bytes hold v.
+func widthCode(v uint64) uint8 {
+	switch {
+	case v < 1<<8:
+		return 0
+	case v < 1<<16:
+		return 1
+	case v < 1<<32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// appendCoded appends v in the fixed width named by code.
+func appendCoded(b []byte, v uint64, code uint8) []byte {
+	switch code {
+	case 0:
+		return append(b, byte(v))
+	case 1:
+		return append(b, byte(v), byte(v>>8))
+	case 2:
+		return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	default:
+		return binary.LittleEndian.AppendUint64(b, v)
+	}
+}
+
 // Packed is an immutable packed trace. Build one with Pack or
 // PackSlice; replay it with Cursor.
 type Packed struct {
 	n     int
+	ctrl  []byte
 	addr  []byte
 	pc    []byte
 	opdom []byte
@@ -42,10 +88,10 @@ func (p *Packed) Len() int { return p.n }
 // SizeBytes reports the in-memory footprint of the packed streams —
 // the quantity the tracestore LRU budget accounts.
 func (p *Packed) SizeBytes() int64 {
-	return int64(cap(p.addr) + cap(p.pc) + cap(p.opdom) + cap(p.gap))
+	return int64(cap(p.ctrl) + cap(p.addr) + cap(p.pc) + cap(p.opdom) + cap(p.gap))
 }
 
-// zigzag maps a signed delta onto an unsigned varint-friendly value.
+// zigzag maps a signed delta onto a small unsigned value.
 func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 
 // unzigzag inverts zigzag.
@@ -59,39 +105,28 @@ type packer struct {
 }
 
 func (pk *packer) append(a Access) {
-	pk.p.addr = appendUvarint(pk.p.addr, zigzag(int64(a.Addr-pk.prevAddr)))
-	pk.p.pc = appendUvarint(pk.p.pc, zigzag(int64(a.PC-pk.prevPC)))
+	da := zigzag(int64(a.Addr - pk.prevAddr))
+	dp := zigzag(int64(a.PC - pk.prevPC))
+	ac, pc, gc := widthCode(da), widthCode(dp), widthCode(uint64(a.Gap))
+	pk.p.ctrl = append(pk.p.ctrl, ac|pc<<2|gc<<4)
+	pk.p.addr = appendCoded(pk.p.addr, da, ac)
+	pk.p.pc = appendCoded(pk.p.pc, dp, pc)
 	pk.p.opdom = append(pk.p.opdom, byte(a.Op)|byte(a.Domain)<<domShift)
-	pk.p.gap = appendUvarint(pk.p.gap, uint64(a.Gap))
+	pk.p.gap = appendCoded(pk.p.gap, uint64(a.Gap), gc)
 	pk.prevAddr, pk.prevPC = a.Addr, a.PC
 	pk.p.n++
 }
 
-// appendUvarint is binary.AppendUvarint with the 1-3 byte cases — all
-// but a sliver of every stream — emitted as single fixed-size appends
-// instead of a byte-at-a-time loop.
-func appendUvarint(b []byte, v uint64) []byte {
-	switch {
-	case v < 1<<7:
-		return append(b, byte(v))
-	case v < 1<<14:
-		return append(b, byte(v)|0x80, byte(v>>7))
-	case v < 1<<21:
-		return append(b, byte(v)|0x80, byte(v>>7)|0x80, byte(v>>14))
-	default:
-		return binary.AppendUvarint(b, v)
-	}
-}
-
-// streamPad is the zero padding appended to each varint stream so the
-// word-at-a-time decoder in uvarintAt can always load 8 bytes from any
-// valid position without running off the end.
+// streamPad is the zero padding appended to each coded stream so the
+// decoder's unconditional 8-byte load is always in bounds from any
+// valid position, even when the trailing values are narrow.
 const streamPad = 8
 
 // finish trims the streams to their final length (plus decoder padding)
 // so SizeBytes reflects what is actually retained.
 func (pk *packer) finish() *Packed {
 	p := pk.p
+	p.ctrl = append([]byte(nil), p.ctrl...)
 	p.addr = padded(p.addr)
 	p.pc = padded(p.pc)
 	p.opdom = append([]byte(nil), p.opdom...)
@@ -112,8 +147,9 @@ func Pack(src Source, max int) *Packed {
 	var pk packer
 	if max > 0 {
 		// Typical stream densities (addresses stride by a few KB, PCs by
-		// less, gaps are small): sized so the append loop almost never
-		// regrows. finish trims whatever margin is left.
+		// less, gaps are small byte-wide counts): sized so the append loop
+		// almost never regrows. finish trims whatever margin is left.
+		pk.p.ctrl = make([]byte, 0, max)
 		pk.p.addr = make([]byte, 0, 3*max)
 		pk.p.pc = make([]byte, 0, 3*max)
 		pk.p.opdom = make([]byte, 0, max)
@@ -130,11 +166,12 @@ func Pack(src Source, max int) *Packed {
 }
 
 // PackSlice packs an already-materialized record slice. It is the bulk
-// twin of Pack: the four stream slices and both delta predecessors live
-// in locals across the loop instead of round-tripping through packer
+// twin of Pack: the stream slices and both delta predecessors live in
+// locals across the loop instead of round-tripping through packer
 // fields per record.
 func PackSlice(recs []Access) *Packed {
 	n := len(recs)
+	ctrl := make([]byte, 0, n)
 	addr := make([]byte, 0, 3*n)
 	pc := make([]byte, 0, 3*n)
 	opdom := make([]byte, 0, n)
@@ -142,14 +179,19 @@ func PackSlice(recs []Access) *Packed {
 	var prevAddr, prevPC uint64
 	for i := range recs {
 		a := &recs[i]
-		addr = appendUvarint(addr, zigzag(int64(a.Addr-prevAddr)))
-		pc = appendUvarint(pc, zigzag(int64(a.PC-prevPC)))
+		da := zigzag(int64(a.Addr - prevAddr))
+		dp := zigzag(int64(a.PC - prevPC))
+		ac, pcc, gc := widthCode(da), widthCode(dp), widthCode(uint64(a.Gap))
+		ctrl = append(ctrl, ac|pcc<<2|gc<<4)
+		addr = appendCoded(addr, da, ac)
+		pc = appendCoded(pc, dp, pcc)
 		opdom = append(opdom, byte(a.Op)|byte(a.Domain)<<domShift)
-		gap = appendUvarint(gap, uint64(a.Gap))
+		gap = appendCoded(gap, uint64(a.Gap), gc)
 		prevAddr, prevPC = a.Addr, a.PC
 	}
 	return &Packed{
 		n:     n,
+		ctrl:  append([]byte(nil), ctrl...),
 		addr:  padded(addr),
 		pc:    padded(pc),
 		opdom: append([]byte(nil), opdom...),
@@ -198,57 +240,6 @@ func (c *Cursor) Reset() {
 	c.prevAddr, c.prevPC = c.start.PrevAddr, c.start.PrevPC
 }
 
-// uvarintAt decodes one unsigned varint of b starting at pos. It is the
-// hot-path twin of binary.Uvarint: the packer zero-pads every stream by
-// streamPad bytes (see finish), so a single 8-byte word load is always
-// in bounds, and varints of 2-8 bytes decode branchlessly from that
-// word in uvarintMulti — within a multi-byte varint, the exact length
-// varies record to record, so a length branch there would mispredict
-// constantly. The single-byte case is split out so it inlines at the
-// call sites in Decode: the gap and PC-delta streams are almost
-// entirely single-byte, so per stream the fast branch predicts
-// near-perfectly (and the addr stream, which is mostly multi-byte,
-// predicts the fall-through just as well) — the multi-byte call is only
-// paid where multi-byte data is.
-func uvarintAt(b []byte, pos int) (uint64, int) {
-	x := binary.LittleEndian.Uint64(b[pos:])
-	if x&0x80 == 0 {
-		return x & 0x7f, pos + 1
-	}
-	return uvarintMulti(x, b, pos)
-}
-
-func uvarintMulti(x uint64, b []byte, pos int) (uint64, int) {
-	// Bit position of the first clear continuation bit = 8*len-1.
-	stop := bits.TrailingZeros64(^x & 0x8080808080808080)
-	if stop == 64 {
-		return uvarintSlow(b, pos)
-	}
-	// Keep the varint's bytes, drop the continuation bits, then fold the
-	// 7-bit groups together (7+7 -> 14, 14+14 -> 28, 28+28 -> 56 bits).
-	x = x & (uint64(1)<<stop<<1 - 1) & 0x7f7f7f7f7f7f7f7f
-	x = x&0x007f007f007f007f | x>>1&0x3f803f803f803f80
-	x = x&0x00003fff00003fff | x>>2&0x0fffc0000fffc000
-	x = x&0x000000000fffffff | x>>4&0x00fffffff0000000
-	return x, pos + (stop >> 3) + 1
-}
-
-// uvarintSlow handles the rare 5+ byte varints (large first-record
-// deltas, mostly).
-func uvarintSlow(b []byte, pos int) (uint64, int) {
-	var x uint64
-	var s uint
-	for {
-		c := b[pos]
-		pos++
-		if c < 0x80 {
-			return x | uint64(c)<<s, pos
-		}
-		x |= uint64(c&0x7f) << s
-		s += 7
-	}
-}
-
 // Decode fills dst with up to len(dst) records, advancing the cursor,
 // and reports how many it wrote (0 at end of trace). It is the bulk
 // twin of Next: cursor state stays in registers across the batch, so
@@ -266,39 +257,24 @@ func (c *Cursor) Decode(dst []Access) int {
 	if n > len(dst) {
 		n = len(dst)
 	}
-	// All three varint streams decode in one loop: each stream's decode
-	// position forms a serial dependency chain (the next position is
-	// known only after the current length is), so interleaving the
-	// independent chains is what keeps the pipeline fed.
 	out := dst[:n]
 	addrS, pcS, gapS := p.addr, p.pc, p.gap
+	ctrlS := p.ctrl[c.i : c.i+n]
 	odS := p.opdom[c.i : c.i+n]
 	addrPos, pcPos, gapPos := c.addrPos, c.pcPos, c.gapPos
 	prevAddr, prevPC := c.prevAddr, c.prevPC
 	for k := range out {
-		// The single-byte varint checks are uvarintAt's fast path written
-		// out by hand: the combined function is just over the compiler's
-		// inlining budget, and a call per stream per record costs more
-		// than the decode itself on the mostly-single-byte streams.
-		var da, dp, gap uint64
-		if x := binary.LittleEndian.Uint64(addrS[addrPos:]); x&0x80 == 0 {
-			da = x & 0x7f
-			addrPos++
-		} else {
-			da, addrPos = uvarintMulti(x, addrS, addrPos)
-		}
-		if x := binary.LittleEndian.Uint64(pcS[pcPos:]); x&0x80 == 0 {
-			dp = x & 0x7f
-			pcPos++
-		} else {
-			dp, pcPos = uvarintMulti(x, pcS, pcPos)
-		}
-		if x := binary.LittleEndian.Uint64(gapS[gapPos:]); x&0x80 == 0 {
-			gap = x & 0x7f
-			gapPos++
-		} else {
-			gap, gapPos = uvarintMulti(x, gapS, gapPos)
-		}
+		// Every field is one unconditional 8-byte load masked to the
+		// width the ctrl byte names; the three position bumps are pure
+		// shifts of the codes, so there is no length branch anywhere in
+		// the loop and the three streams' loads pipeline freely.
+		ct := ctrlS[k]
+		da := binary.LittleEndian.Uint64(addrS[addrPos:]) & widthMask[ct&3]
+		addrPos += 1 << (ct & 3)
+		dp := binary.LittleEndian.Uint64(pcS[pcPos:]) & widthMask[ct>>2&3]
+		pcPos += 1 << (ct >> 2 & 3)
+		gap := binary.LittleEndian.Uint64(gapS[gapPos:]) & widthMask[ct>>4&3]
+		gapPos += 1 << (ct >> 4 & 3)
 		od := odS[k]
 		prevAddr += uint64(unzigzag(da))
 		prevPC += uint64(unzigzag(dp))
@@ -321,11 +297,16 @@ func (c *Cursor) Next() (Access, bool) {
 	if c.p == nil || c.i >= c.end {
 		return Access{}, false
 	}
-	da, addrPos := uvarintAt(c.p.addr, c.addrPos)
-	dp, pcPos := uvarintAt(c.p.pc, c.pcPos)
-	gap, gapPos := uvarintAt(c.p.gap, c.gapPos)
-	od := c.p.opdom[c.i]
+	p := c.p
+	ct := p.ctrl[c.i]
+	da := binary.LittleEndian.Uint64(p.addr[c.addrPos:]) & widthMask[ct&3]
+	dp := binary.LittleEndian.Uint64(p.pc[c.pcPos:]) & widthMask[ct>>2&3]
+	gap := binary.LittleEndian.Uint64(p.gap[c.gapPos:]) & widthMask[ct>>4&3]
+	od := p.opdom[c.i]
 
+	c.addrPos += 1 << (ct & 3)
+	c.pcPos += 1 << (ct >> 2 & 3)
+	c.gapPos += 1 << (ct >> 4 & 3)
 	c.prevAddr += uint64(unzigzag(da))
 	c.prevPC += uint64(unzigzag(dp))
 	a := Access{
@@ -335,7 +316,6 @@ func (c *Cursor) Next() (Access, bool) {
 		Op:     Op(od & (1<<domShift - 1)),
 		Domain: Domain(od >> domShift),
 	}
-	c.addrPos, c.pcPos, c.gapPos = addrPos, pcPos, gapPos
 	c.i++
 	return a, true
 }

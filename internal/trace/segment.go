@@ -1,16 +1,19 @@
 package trace
 
+import "encoding/binary"
+
 // This file implements offset-addressable segment views over packed and
 // sliced traces. The packed streams are delta-coded, so a record's
-// absolute position is the pair (varint byte offsets, running delta
-// predecessors); Pos captures exactly that, letting a replay resume —
+// absolute position is the pair (per-stream byte offsets, running
+// delta predecessors); Pos captures exactly that, letting a replay
+// resume —
 // or a segment view begin — at any record index without re-decoding the
 // prefix. sim.RunSegmented splits one long trace at phase boundaries
 // this way: Positions walks the streams once, and each segment then
 // replays its own bounded CursorAt view concurrently.
 
 // Pos is an absolute replay position inside a Packed trace: the record
-// index, the byte offset of that record's varint in each delta stream,
+// index, the byte offset of that record's value in each coded stream,
 // and the running predecessors the deltas apply to. A Pos is only
 // meaningful for the Packed it was derived from (via Cursor.Pos or
 // Packed.Positions); the zero Pos addresses the first record.
@@ -55,8 +58,9 @@ func (p *Packed) CursorAt(pos Pos, n int) Cursor {
 
 // Skip advances the cursor past up to n records without materializing
 // them, reporting how many were skipped (less than n only at end of
-// segment). It decodes just the varint lengths and delta sums — no
-// Access construction — so seeking to a segment boundary costs a
+// segment). The gap stream is not even loaded — its position advances
+// by the coded width alone — and the address and PC streams decode
+// only the delta sums, so seeking to a segment boundary costs a
 // fraction of a full decode.
 func (c *Cursor) Skip(n int) int {
 	p := c.p
@@ -69,14 +73,17 @@ func (c *Cursor) Skip(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	addrS, pcS, gapS := p.addr, p.pc, p.gap
+	addrS, pcS := p.addr, p.pc
+	ctrlS := p.ctrl[c.i : c.i+n]
 	addrPos, pcPos, gapPos := c.addrPos, c.pcPos, c.gapPos
 	prevAddr, prevPC := c.prevAddr, c.prevPC
 	for k := 0; k < n; k++ {
-		da, ap := uvarintAt(addrS, addrPos)
-		dp, pp := uvarintAt(pcS, pcPos)
-		_, gp := uvarintAt(gapS, gapPos)
-		addrPos, pcPos, gapPos = ap, pp, gp
+		ct := ctrlS[k]
+		da := binary.LittleEndian.Uint64(addrS[addrPos:]) & widthMask[ct&3]
+		addrPos += 1 << (ct & 3)
+		dp := binary.LittleEndian.Uint64(pcS[pcPos:]) & widthMask[ct>>2&3]
+		pcPos += 1 << (ct >> 2 & 3)
+		gapPos += 1 << (ct >> 4 & 3)
 		prevAddr += uint64(unzigzag(da))
 		prevPC += uint64(unzigzag(dp))
 	}

@@ -137,7 +137,10 @@ func TestEmitBenchJSONPR9(t *testing.T) {
 			serial = d
 		}
 		for _, w := range workerCounts {
-			plan := sim.SegmentPlan{Segments: rep.Segments, Workers: w}
+			// Force: the rows record what the stitching machinery itself
+			// costs at each width; the serial auto-fallback (PR10) would
+			// otherwise replace every arm on this single-core host.
+			plan := sim.SegmentPlan{Segments: rep.Segments, Workers: w, Force: true}
 			start := time.Now()
 			if _, err := sim.RunSegmented(cfg, prof.Name, tr, rep.CellAccesses, plan); err != nil {
 				t.Fatal(err)
@@ -186,7 +189,7 @@ func TestEmitBenchJSONPR9(t *testing.T) {
 		}
 		cur := trErr.Packed.Cursor()
 		exact := sim.RunTrace(m, prof.Name, &cur, uint64(rep.StitchAccesses))
-		plan := sim.SegmentPlan{Segments: rep.Segments, Warmup: c.warmup}
+		plan := sim.SegmentPlan{Segments: rep.Segments, Warmup: c.warmup, Force: true}
 		seg, err := sim.RunSegmented(mcfg, prof.Name, trErr, rep.StitchAccesses, plan)
 		if err != nil {
 			t.Fatal(err)
